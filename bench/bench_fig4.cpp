@@ -1,0 +1,102 @@
+// Reproduces Figure 4: seven experiments, each mixing and evaluating
+// N=128 samples toward target rgb(120,120,120) with batch sizes
+// B = 1, 2, 4, 8, 16, 32, 64. For every experiment the harness prints the
+// best-score-so-far series against elapsed experiment time (the figure's
+// dots), marks the paper's annotated sample milestones, and summarizes
+// the expected qualitative result: smaller batches take longer but match
+// the color better.
+//
+// The seven experiments are independent, so they run concurrently on the
+// process-wide thread pool — seven virtual workcells in flight at once.
+#include <cstdio>
+
+#include "core/presets.hpp"
+#include "support/csv.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+using namespace sdl;
+
+namespace {
+
+constexpr int kBatchSizes[] = {1, 2, 4, 8, 16, 32, 64};
+constexpr int kMilestones[] = {1, 2, 4, 8, 16, 32, 64, 96, 128};
+
+bool is_milestone(int index) {
+    for (const int m : kMilestones) {
+        if (index == m) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+int main() {
+    support::set_log_level(support::LogLevel::Error);
+    std::printf("================================================================\n");
+    std::printf("Figure 4 — batch-size sweep, N=128, target rgb(120,120,120)\n");
+    std::printf("================================================================\n");
+
+    // Run all seven experiments in parallel (one simulated workcell each).
+    // Per-experiment seeds: as in the lab, every experiment starts from
+    // its own random initial guesses ("Results depend on the original
+    // random guesses").
+    auto outcomes = support::global_pool().parallel_map(
+        std::size(kBatchSizes), [](std::size_t i) {
+            core::ColorPickerApp app(
+                core::preset_fig4(kBatchSizes[i], /*seed=*/100 + static_cast<std::uint64_t>(i)));
+            return app.run();
+        });
+
+    // Per-experiment milestone series (the figure's annotated dots).
+    support::CsvWriter csv({"batch_size", "sample", "elapsed_min", "score", "best_so_far"});
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const auto& outcome = outcomes[i];
+        std::printf("\nB=%d (best %.2f after %.0f min):\n", kBatchSizes[i],
+                    outcome.best_score, outcome.samples.back().elapsed_minutes);
+        std::printf("  sample:   ");
+        for (const auto& s : outcome.samples) {
+            if (is_milestone(s.index)) std::printf("%8d", s.index);
+        }
+        std::printf("\n  elapsed:  ");
+        for (const auto& s : outcome.samples) {
+            if (is_milestone(s.index)) std::printf("%7.0fm", s.elapsed_minutes);
+        }
+        std::printf("\n  best:     ");
+        for (const auto& s : outcome.samples) {
+            if (is_milestone(s.index)) std::printf("%8.2f", s.best_so_far);
+        }
+        std::printf("\n");
+        for (const auto& s : outcome.samples) {
+            csv.add_row(std::vector<double>{static_cast<double>(kBatchSizes[i]),
+                                            static_cast<double>(s.index),
+                                            s.elapsed_minutes, s.score, s.best_so_far});
+        }
+    }
+    csv.save("fig4_series.csv");
+
+    // Summary: the paper's qualitative claim.
+    std::printf("\nSummary (paper: smaller batches run longer but match better):\n");
+    support::TextTable table({"B", "Iterations", "Total time", "Best @64 samples",
+                              "Final best", "Commands"});
+    table.set_alignment({support::TextTable::Align::Right, support::TextTable::Align::Right,
+                         support::TextTable::Align::Right, support::TextTable::Align::Right,
+                         support::TextTable::Align::Right,
+                         support::TextTable::Align::Right});
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const auto& outcome = outcomes[i];
+        double best_at_64 = 0.0;
+        for (const auto& s : outcome.samples) {
+            if (s.index == 64) best_at_64 = s.best_so_far;
+        }
+        table.add_row({std::to_string(kBatchSizes[i]), std::to_string(outcome.batches_run),
+                       outcome.metrics.total_time.pretty(),
+                       support::fmt_double(best_at_64, 2),
+                       support::fmt_double(outcome.best_score, 2),
+                       std::to_string(outcome.metrics.commands_completed)});
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("\nFull series written to fig4_series.csv\n");
+    return 0;
+}

@@ -1,0 +1,190 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// kernels under the simulator: DES event dispatch, config parsing, the
+// vision pipeline stages, color math, and the solvers.
+#include <benchmark/benchmark.h>
+
+#include "color/lab.hpp"
+#include "color/mixing.hpp"
+#include "des/simulation.hpp"
+#include "imaging/fiducial.hpp"
+#include "imaging/filters.hpp"
+#include "imaging/hough.hpp"
+#include "imaging/plate_render.hpp"
+#include "imaging/well_reader.hpp"
+#include "solver/bayes.hpp"
+#include "solver/genetic.hpp"
+#include "support/json.hpp"
+#include "support/random.hpp"
+#include "support/yaml.hpp"
+
+using namespace sdl;
+
+// ------------------------------------------------------------------- DES
+
+static void BM_DesEventDispatch(benchmark::State& state) {
+    for (auto _ : state) {
+        des::Simulation sim;
+        const auto n = static_cast<std::size_t>(state.range(0));
+        for (std::size_t i = 0; i < n; ++i) {
+            sim.schedule_in(support::Duration::seconds(static_cast<double>(i % 97)),
+                            [] { benchmark::DoNotOptimize(0); });
+        }
+        sim.run_all();
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DesEventDispatch)->Arg(1000)->Arg(10000);
+
+// --------------------------------------------------------------- parsing
+
+static void BM_JsonParse(benchmark::State& state) {
+    // A representative run record document.
+    support::json::Value doc = support::json::Value::object();
+    doc.set("type", "run");
+    doc.set("experiment_id", "bench");
+    doc.set("run_number", 12);
+    support::json::Value samples = support::json::Value::array();
+    for (int i = 0; i < 15; ++i) {
+        support::json::Value s = support::json::Value::object();
+        s.set("sample_index", i);
+        s.set("score", 12.5 + i);
+        s.set("ratios", support::json::Array{0.2, 0.3, 0.1, 0.4});
+        samples.push_back(std::move(s));
+    }
+    doc.set("samples", std::move(samples));
+    const std::string text = doc.dump();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(support::json::parse(text));
+    }
+    state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParse);
+
+static void BM_YamlParseWorkflow(benchmark::State& state) {
+    const char* text = R"(name: cp_wf_mixcolor
+steps:
+  - name: plate to ot2
+    module: pf400
+    action: transfer
+    args: {source: camera.nest, target: ot2.deck}
+  - name: mix colors
+    module: ot2
+    action: run_protocol
+    args: {protocol: mix_colors}
+  - name: plate to camera
+    module: pf400
+    action: transfer
+    args: {source: ot2.deck, target: camera.nest}
+  - name: photograph
+    module: camera
+    action: take_picture
+)";
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(support::yaml::parse(text));
+    }
+}
+BENCHMARK(BM_YamlParseWorkflow);
+
+// ----------------------------------------------------------------- color
+
+static void BM_BeerLambertMix(benchmark::State& state) {
+    const color::BeerLambertMixer mixer(color::DyeLibrary::cmyk());
+    const std::vector<double> ratios{0.26, 0.22, 0.29, 0.23};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mixer.mix_ratios(ratios));
+    }
+}
+BENCHMARK(BM_BeerLambertMix);
+
+static void BM_DeltaE2000(benchmark::State& state) {
+    const color::Lab a = color::to_lab({120, 120, 120});
+    const color::Lab b = color::to_lab({131, 112, 125});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(color::delta_e2000(a, b));
+    }
+}
+BENCHMARK(BM_DeltaE2000);
+
+// ---------------------------------------------------------------- vision
+
+namespace {
+imaging::Image bench_frame() {
+    imaging::PlateScene scene;
+    std::vector<color::Rgb8> colors(96, {120, 120, 120});
+    support::Rng rng(1);
+    return imaging::render_plate(scene, colors, rng);
+}
+}  // namespace
+
+static void BM_RenderPlate(benchmark::State& state) {
+    imaging::PlateScene scene;
+    std::vector<color::Rgb8> colors(96, {120, 120, 120});
+    support::Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(imaging::render_plate(scene, colors, rng));
+    }
+}
+BENCHMARK(BM_RenderPlate)->Unit(benchmark::kMillisecond);
+
+static void BM_GaussianBlur(benchmark::State& state) {
+    const imaging::GrayImage gray = imaging::to_gray(bench_frame());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(imaging::gaussian_blur(gray, 1.0));
+    }
+}
+BENCHMARK(BM_GaussianBlur)->Unit(benchmark::kMillisecond);
+
+static void BM_DetectMarkers(benchmark::State& state) {
+    const imaging::Image frame = bench_frame();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            imaging::detect_markers(frame, imaging::MarkerDictionary::standard()));
+    }
+}
+BENCHMARK(BM_DetectMarkers)->Unit(benchmark::kMillisecond);
+
+static void BM_ReadPlateFull(benchmark::State& state) {
+    const imaging::Image frame = bench_frame();
+    imaging::PlateScene scene;
+    imaging::WellReadParams params;
+    params.geometry = scene.geometry;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(imaging::read_plate(frame, params));
+    }
+}
+BENCHMARK(BM_ReadPlateFull)->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------------- solvers
+
+static void BM_GeneticGeneration(benchmark::State& state) {
+    solver::GeneticSolver ga;
+    const auto initial = ga.ask(32);
+    std::vector<solver::Observation> observations;
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+        observations.push_back({initial[i], {100, 100, 100}, 30.0 - static_cast<double>(i)});
+    }
+    ga.tell(observations);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ga.ask(32));
+    }
+}
+BENCHMARK(BM_GeneticGeneration);
+
+static void BM_GaussianProcessFit(benchmark::State& state) {
+    support::Rng rng(5);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (std::size_t i = 0; i < n; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()});
+        ys.push_back(rng.uniform(5.0, 40.0));
+    }
+    for (auto _ : state) {
+        solver::GaussianProcess gp;
+        gp.fit(xs, ys, /*optimize=*/false);
+        benchmark::DoNotOptimize(gp.predict(xs[0]));
+    }
+}
+BENCHMARK(BM_GaussianProcessFit)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Quickstart: run a small closed-loop color-matching experiment on the
+// simulated workcell and print what happened.
+//
+//   $ ./quickstart [target_r target_g target_b]
+//
+// This is the whole public API surface a typical user needs: configure,
+// construct the app, run, inspect the outcome.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/colorpicker.hpp"
+#include "core/presets.hpp"
+#include "metrics/metrics.hpp"
+#include "support/log.hpp"
+
+using namespace sdl;
+
+int main(int argc, char** argv) {
+    support::set_log_level(support::LogLevel::Warn);
+
+    // 1. Configure the experiment. preset_quickstart gives a small, fast
+    //    run; every field can be overridden.
+    core::ColorPickerConfig config = core::preset_quickstart(/*seed=*/42);
+    if (argc == 4) {
+        config.target = {static_cast<std::uint8_t>(std::atoi(argv[1])),
+                         static_cast<std::uint8_t>(std::atoi(argv[2])),
+                         static_cast<std::uint8_t>(std::atoi(argv[3]))};
+    }
+    config.total_samples = 32;  // N: samples to mix and measure
+    config.batch_size = 8;      // B: wells mixed per ot2 protocol
+
+    std::printf("Matching target %s with %d samples in batches of %d...\n",
+                config.target.str().c_str(), config.total_samples, config.batch_size);
+
+    // 2. Run. The app owns a full simulated workcell: sciclops, pf400,
+    //    ot2, barty, camera, the WEI engine, the vision pipeline and the
+    //    publication flow.
+    core::ColorPickerApp app(config);
+    const core::ExperimentOutcome outcome = app.run();
+
+    // 3. Inspect the outcome.
+    std::printf("\nBest match: %s (score %.2f) using ratios [c=%.2f m=%.2f y=%.2f k=%.2f]\n",
+                outcome.best_color.str().c_str(), outcome.best_score,
+                outcome.best_ratios[0], outcome.best_ratios[1], outcome.best_ratios[2],
+                outcome.best_ratios[3]);
+    std::printf("Simulated wall time: %s | plates used: %d | batches: %d\n",
+                outcome.metrics.total_time.pretty().c_str(), outcome.plates_used,
+                outcome.batches_run);
+
+    std::printf("\nSDL metrics for this run:\n%s",
+                metrics::render_metrics_table(outcome.metrics).c_str());
+
+    std::printf("\nImprovement trace (best score after each batch):\n  ");
+    double last_best = -1.0;
+    for (const auto& sample : outcome.samples) {
+        if (sample.best_so_far != last_best) {
+            std::printf("%.1f@%d ", sample.best_so_far, sample.index);
+            last_best = sample.best_so_far;
+        }
+    }
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,31 @@
+#include "color/dye.hpp"
+
+#include "support/common.hpp"
+
+namespace sdl::color {
+
+DyeLibrary::DyeLibrary(std::vector<Dye> dyes) : dyes_(std::move(dyes)) {
+    support::check(!dyes_.empty(), "dye library must contain at least one dye");
+}
+
+DyeLibrary DyeLibrary::cmyk() {
+    return DyeLibrary({
+        // Cyan absorbs red strongly, green moderately.
+        Dye{"cyan", {2.50, 0.50, 0.15}},
+        // Magenta absorbs green strongly.
+        Dye{"magenta", {0.40, 2.50, 0.30}},
+        // Yellow absorbs blue strongly.
+        Dye{"yellow", {0.05, 0.25, 2.20}},
+        // Black absorbs all channels equally.
+        Dye{"black", {4.00, 4.00, 4.00}},
+    });
+}
+
+std::size_t DyeLibrary::index_of(std::string_view name) const {
+    for (std::size_t i = 0; i < dyes_.size(); ++i) {
+        if (dyes_[i].name == name) return i;
+    }
+    throw support::ConfigError("unknown dye '" + std::string(name) + "'");
+}
+
+}  // namespace sdl::color

@@ -1,0 +1,46 @@
+// Dye models for the simulated liquid-color chemistry.
+//
+// The physical lab mixes cyan, magenta, yellow and black food dyes. Each
+// simulated dye is characterized by per-channel decadic-style absorptivity
+// coefficients; mixtures attenuate backlight according to Beer–Lambert
+// (see mixing.hpp). Coefficients are chosen so the paper's target color
+// RGB(120,120,120) is exactly reachable by a valid ratio vector (verified
+// by the invert_target test).
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sdl::color {
+
+struct Dye {
+    std::string name;
+    /// Absorptivity per RGB channel at unit concentration and unit path
+    /// length (natural log basis): OD_ch = concentration * absorptivity_ch.
+    std::array<double, 3> absorptivity{};
+};
+
+/// A fixed, ordered set of dyes (the workcell's reservoir layout).
+class DyeLibrary {
+public:
+    explicit DyeLibrary(std::vector<Dye> dyes);
+
+    /// The paper's four-dye setup: cyan, magenta, yellow, black ("cymk"
+    /// order follows §2.1: "cyan, yellow, magenta, and black dyes" — we
+    /// keep CMYK naming but preserve four channels).
+    [[nodiscard]] static DyeLibrary cmyk();
+
+    [[nodiscard]] std::size_t count() const noexcept { return dyes_.size(); }
+    [[nodiscard]] const Dye& dye(std::size_t i) const { return dyes_.at(i); }
+    [[nodiscard]] std::span<const Dye> dyes() const noexcept { return dyes_; }
+
+    /// Index of the dye with the given name; throws ConfigError if absent.
+    [[nodiscard]] std::size_t index_of(std::string_view name) const;
+
+private:
+    std::vector<Dye> dyes_;
+};
+
+}  // namespace sdl::color

@@ -1,0 +1,95 @@
+#include "color/mixing.hpp"
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "support/common.hpp"
+
+namespace sdl::color {
+
+BeerLambertMixer::BeerLambertMixer(DyeLibrary library, double path_length)
+    : library_(std::move(library)), path_length_(path_length) {
+    support::check(path_length > 0.0, "path length must be positive");
+}
+
+LinearRgb BeerLambertMixer::transmittance(std::span<const double> fractions) const {
+    support::check(fractions.size() == library_.count(),
+                   "fraction count must match dye count");
+    double total = 0.0;
+    for (const double f : fractions) {
+        support::check(f >= 0.0, "negative dye fraction");
+        total += f;
+    }
+    if (total <= 0.0) return {1.0, 1.0, 1.0};  // empty well -> clear
+
+    std::array<double, 3> od{0.0, 0.0, 0.0};
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+        const double c = fractions[i] / total;
+        const auto& eps = library_.dye(i).absorptivity;
+        od[0] += c * eps[0];
+        od[1] += c * eps[1];
+        od[2] += c * eps[2];
+    }
+    return {std::exp(-path_length_ * od[0]), std::exp(-path_length_ * od[1]),
+            std::exp(-path_length_ * od[2])};
+}
+
+Rgb8 BeerLambertMixer::mix(std::span<const support::Volume> volumes) const {
+    std::vector<double> fractions(volumes.size());
+    for (std::size_t i = 0; i < volumes.size(); ++i) {
+        fractions[i] = volumes[i].to_microliters();
+    }
+    return mix_ratios(fractions);
+}
+
+Rgb8 BeerLambertMixer::mix_ratios(std::span<const double> ratios) const {
+    return to_srgb8(transmittance(ratios));
+}
+
+std::optional<std::vector<double>> BeerLambertMixer::invert_target(Rgb8 target) const {
+    const std::size_t n = library_.count();
+    if (n != 4) return std::nullopt;  // the closed form below is 4-dye
+
+    // Required optical densities per channel.
+    const LinearRgb lin = to_linear(target);
+    if (lin.r <= 0.0 || lin.g <= 0.0 || lin.b <= 0.0) return std::nullopt;
+    const std::array<double, 3> od{-std::log(lin.r) / path_length_,
+                                   -std::log(lin.g) / path_length_,
+                                   -std::log(lin.b) / path_length_};
+
+    // Solve: Σ c_i ε_i,ch = od_ch (3 equations) and Σ c_i = 1.
+    linalg::Matrix a(4, 4);
+    linalg::Vec b(4);
+    for (std::size_t ch = 0; ch < 3; ++ch) {
+        for (std::size_t i = 0; i < 4; ++i) a(ch, i) = library_.dye(i).absorptivity[ch];
+        b[ch] = od[ch];
+    }
+    for (std::size_t i = 0; i < 4; ++i) a(3, i) = 1.0;
+    b[3] = 1.0;
+
+    // The system is small and generally well conditioned; solve the
+    // normal equations with jitter for robustness.
+    const linalg::Matrix at = a.transposed();
+    linalg::Matrix ata = at * a;
+    const linalg::Vec atb = at * b;
+    linalg::Vec c;
+    try {
+        c = linalg::cholesky_with_jitter(std::move(ata)).solve(atb);
+    } catch (const support::Error&) {
+        return std::nullopt;
+    }
+
+    // Validate: physical (non-negative) and actually achieving the target.
+    for (double& ci : c) {
+        if (ci < 0.0) {
+            if (ci < -1e-6) return std::nullopt;  // genuinely infeasible
+            ci = 0.0;
+        }
+    }
+    const Rgb8 produced = mix_ratios(c);
+    if (rgb_distance(produced, target) > 1.0) return std::nullopt;
+    return c;
+}
+
+}  // namespace sdl::color

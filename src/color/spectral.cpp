@@ -1,0 +1,150 @@
+#include "color/spectral.hpp"
+
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace sdl::color {
+
+namespace {
+constexpr double kLambdaMin = 400.0;
+constexpr double kLambdaMax = 700.0;
+
+/// Piecewise-Gaussian basis of the Wyman/Sloan/Shirley CMF fits.
+double wss_gaussian(double x, double alpha, double mu, double sigma1,
+                    double sigma2) noexcept {
+    const double sigma = x < mu ? sigma1 : sigma2;
+    const double t = (x - mu) / sigma;
+    return alpha * std::exp(-0.5 * t * t);
+}
+
+double x_bar_fit(double lambda) noexcept {
+    return wss_gaussian(lambda, 1.056, 599.8, 37.9, 31.0) +
+           wss_gaussian(lambda, 0.362, 442.0, 16.0, 26.7) +
+           wss_gaussian(lambda, -0.065, 501.1, 20.4, 26.2);
+}
+double y_bar_fit(double lambda) noexcept {
+    return wss_gaussian(lambda, 0.821, 568.8, 46.9, 40.5) +
+           wss_gaussian(lambda, 0.286, 530.9, 16.3, 31.1);
+}
+double z_bar_fit(double lambda) noexcept {
+    return wss_gaussian(lambda, 1.217, 437.0, 11.8, 36.0) +
+           wss_gaussian(lambda, 0.681, 459.0, 26.0, 13.8);
+}
+}  // namespace
+
+double band_wavelength(std::size_t i) noexcept {
+    return kLambdaMin + (kLambdaMax - kLambdaMin) * static_cast<double>(i) /
+                            static_cast<double>(kSpectralBands - 1);
+}
+
+Spectrum& Spectrum::operator+=(const Spectrum& other) noexcept {
+    for (std::size_t i = 0; i < kSpectralBands; ++i) values_[i] += other.values_[i];
+    return *this;
+}
+
+Spectrum& Spectrum::operator*=(double k) noexcept {
+    for (double& v : values_) v *= k;
+    return *this;
+}
+
+Spectrum Spectrum::gaussian_band(double center_nm, double width_nm, double amplitude) {
+    Spectrum s;
+    for (std::size_t i = 0; i < kSpectralBands; ++i) {
+        const double t = (band_wavelength(i) - center_nm) / width_nm;
+        s[i] = amplitude * std::exp(-0.5 * t * t);
+    }
+    return s;
+}
+
+const Spectrum& cie_x_bar() noexcept {
+    static const Spectrum s = [] {
+        Spectrum out;
+        for (std::size_t i = 0; i < kSpectralBands; ++i) out[i] = x_bar_fit(band_wavelength(i));
+        return out;
+    }();
+    return s;
+}
+
+const Spectrum& cie_y_bar() noexcept {
+    static const Spectrum s = [] {
+        Spectrum out;
+        for (std::size_t i = 0; i < kSpectralBands; ++i) out[i] = y_bar_fit(band_wavelength(i));
+        return out;
+    }();
+    return s;
+}
+
+const Spectrum& cie_z_bar() noexcept {
+    static const Spectrum s = [] {
+        Spectrum out;
+        for (std::size_t i = 0; i < kSpectralBands; ++i) out[i] = z_bar_fit(band_wavelength(i));
+        return out;
+    }();
+    return s;
+}
+
+Xyz spectrum_to_xyz(const Spectrum& radiance) {
+    Xyz xyz;
+    for (std::size_t i = 0; i < kSpectralBands; ++i) {
+        xyz.x += radiance[i] * cie_x_bar()[i];
+        xyz.y += radiance[i] * cie_y_bar()[i];
+        xyz.z += radiance[i] * cie_z_bar()[i];
+    }
+    return xyz;
+}
+
+SpectralMixer::SpectralMixer(std::vector<SpectralDye> dyes, Spectrum illuminant)
+    : dyes_(std::move(dyes)), illuminant_(illuminant) {
+    support::check(!dyes_.empty(), "spectral mixer needs at least one dye");
+    // Normalize so the bare backlight has luminance Y = 1 (paper-white).
+    const Xyz white = spectrum_to_xyz(illuminant_);
+    support::check(white.y > 0.0, "illuminant must have positive luminance");
+    y_normalization_ = 1.0 / white.y;
+}
+
+SpectralMixer SpectralMixer::cmyk_flat() {
+    std::vector<SpectralDye> dyes;
+    // Cyan absorbs long wavelengths (red), magenta mid (green), yellow
+    // short (blue); black absorbs flatly. Amplitudes roughly matched to
+    // the RGB library's optical densities.
+    SpectralDye cyan{"cyan", Spectrum::gaussian_band(640.0, 55.0, 2.8)};
+    SpectralDye magenta{"magenta", Spectrum::gaussian_band(540.0, 45.0, 2.7)};
+    SpectralDye yellow{"yellow", Spectrum::gaussian_band(445.0, 45.0, 2.5)};
+    SpectralDye black{"black", Spectrum(4.0)};
+    dyes.push_back(std::move(cyan));
+    dyes.push_back(std::move(magenta));
+    dyes.push_back(std::move(yellow));
+    dyes.push_back(std::move(black));
+    return SpectralMixer(std::move(dyes), Spectrum(1.0));
+}
+
+Spectrum SpectralMixer::transmitted(std::span<const double> fractions) const {
+    support::check(fractions.size() == dyes_.size(),
+                   "fraction count must match dye count");
+    double total = 0.0;
+    for (const double f : fractions) {
+        support::check(f >= 0.0, "negative dye fraction");
+        total += f;
+    }
+    Spectrum out = illuminant_;
+    if (total <= 0.0) return out;
+    for (std::size_t band = 0; band < kSpectralBands; ++band) {
+        double od = 0.0;
+        for (std::size_t i = 0; i < dyes_.size(); ++i) {
+            od += (fractions[i] / total) * dyes_[i].absorbance[band];
+        }
+        out[band] *= std::exp(-od);
+    }
+    return out;
+}
+
+Rgb8 SpectralMixer::mix_ratios(std::span<const double> ratios) const {
+    Xyz xyz = spectrum_to_xyz(transmitted(ratios));
+    xyz.x *= y_normalization_;
+    xyz.y *= y_normalization_;
+    xyz.z *= y_normalization_;
+    return to_srgb8(xyz_to_linear(xyz));
+}
+
+}  // namespace sdl::color

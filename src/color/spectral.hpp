@@ -1,0 +1,95 @@
+// Spectral color model: n-band spectra, CIE 1931 color matching, and a
+// spectral Beer–Lambert mixer.
+//
+// The paper's future work points at Baird & Sparks' closed-loop
+// spectroscopy lab, where samples are characterized by spectra rather
+// than camera RGB. This module upgrades the chemistry from 3-channel
+// absorptivities to banded absorbance spectra: mixtures attenuate a
+// backlight per wavelength band, and the perceived color comes from
+// integrating against the CIE 1931 color matching functions (Wyman,
+// Sloan & Shirley's multi-Gaussian fits). The RGB mixer remains the
+// default workcell chemistry; the spectral mixer is a drop-in
+// high-fidelity alternative that also exhibits metamerism.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "color/lab.hpp"
+#include "color/rgb.hpp"
+
+namespace sdl::color {
+
+/// Number of wavelength bands (400–700 nm inclusive).
+inline constexpr std::size_t kSpectralBands = 16;
+
+/// Center wavelength (nm) of band `i`.
+[[nodiscard]] double band_wavelength(std::size_t i) noexcept;
+
+/// A sampled spectrum (power or absorbance per band).
+class Spectrum {
+public:
+    Spectrum() = default;
+    explicit Spectrum(double fill) { values_.fill(fill); }
+
+    [[nodiscard]] double& operator[](std::size_t i) noexcept { return values_[i]; }
+    [[nodiscard]] double operator[](std::size_t i) const noexcept { return values_[i]; }
+    [[nodiscard]] static constexpr std::size_t size() noexcept { return kSpectralBands; }
+
+    Spectrum& operator+=(const Spectrum& other) noexcept;
+    Spectrum& operator*=(double k) noexcept;
+
+    /// A Gaussian bump: amplitude * exp(-(λ-center)²/(2 width²)).
+    [[nodiscard]] static Spectrum gaussian_band(double center_nm, double width_nm,
+                                                double amplitude);
+
+private:
+    std::array<double, kSpectralBands> values_{};
+};
+
+/// CIE 1931 2° standard-observer color matching functions sampled at the
+/// band centers (Wyman/Sloan/Shirley analytic fits).
+[[nodiscard]] const Spectrum& cie_x_bar() noexcept;
+[[nodiscard]] const Spectrum& cie_y_bar() noexcept;
+[[nodiscard]] const Spectrum& cie_z_bar() noexcept;
+
+/// Integrates a radiance spectrum to XYZ (normalized so the reference
+/// illuminant maps to Y = 1).
+[[nodiscard]] Xyz spectrum_to_xyz(const Spectrum& radiance);
+
+/// A dye characterized by its absorbance spectrum.
+struct SpectralDye {
+    std::string name;
+    Spectrum absorbance;  ///< OD per unit concentration per band
+};
+
+class SpectralMixer {
+public:
+    /// `illuminant` is the backlight's emission spectrum.
+    SpectralMixer(std::vector<SpectralDye> dyes, Spectrum illuminant);
+
+    /// The four-dye setup matching the RGB mixer's CMYK library: Gaussian
+    /// absorption bands for cyan (red-absorbing), magenta (green),
+    /// yellow (blue) and a flat-spectrum black, under a flat (equal
+    /// energy) backlight.
+    [[nodiscard]] static SpectralMixer cmyk_flat();
+
+    [[nodiscard]] std::size_t dye_count() const noexcept { return dyes_.size(); }
+    [[nodiscard]] const SpectralDye& dye(std::size_t i) const { return dyes_.at(i); }
+
+    /// Transmitted spectrum for volume fractions (renormalized like the
+    /// RGB mixer; an all-zero vector transmits the full backlight).
+    [[nodiscard]] Spectrum transmitted(std::span<const double> fractions) const;
+
+    /// Perceived color of the mixture over the backlight.
+    [[nodiscard]] Rgb8 mix_ratios(std::span<const double> ratios) const;
+
+private:
+    std::vector<SpectralDye> dyes_;
+    Spectrum illuminant_;
+    double y_normalization_;
+};
+
+}  // namespace sdl::color

@@ -1,0 +1,165 @@
+#include "core/config_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/common.hpp"
+#include "support/yaml.hpp"
+
+namespace sdl::core {
+
+namespace json = support::json;
+
+namespace {
+
+void reject_unknown_keys(const json::Value& node, std::initializer_list<const char*> known,
+                         const std::string& where) {
+    if (!node.is_object()) return;
+    for (const auto& [key, value] : node.as_object()) {
+        bool ok = false;
+        for (const char* k : known) {
+            if (key == k) {
+                ok = true;
+                break;
+            }
+        }
+        if (!ok) {
+            throw support::ConfigError("unknown key '" + key + "' in " + where);
+        }
+    }
+}
+
+Objective objective_from_string(const std::string& name) {
+    if (name == "rgb") return Objective::RgbEuclidean;
+    if (name == "de76") return Objective::DeltaE76;
+    if (name == "de2000") return Objective::DeltaE2000;
+    throw support::ConfigError("unknown objective '" + name +
+                               "' (expected rgb | de76 | de2000)");
+}
+
+const char* objective_to_string(Objective objective) {
+    switch (objective) {
+        case Objective::RgbEuclidean: return "rgb";
+        case Objective::DeltaE76: return "de76";
+        case Objective::DeltaE2000: return "de2000";
+    }
+    return "rgb";
+}
+
+color::Rgb8 color_from_array(const json::Value& v, const std::string& where) {
+    if (!v.is_array() || v.as_array().size() != 3) {
+        throw support::ConfigError(where + " must be a [r, g, b] triple");
+    }
+    const auto channel = [&](std::size_t i) {
+        const std::int64_t value = v.as_array()[i].as_int();
+        if (value < 0 || value > 255) {
+            throw support::ConfigError(where + " channels must be 0..255");
+        }
+        return static_cast<std::uint8_t>(value);
+    };
+    return {channel(0), channel(1), channel(2)};
+}
+
+}  // namespace
+
+ColorPickerConfig config_from_yaml(std::string_view text) {
+    const json::Value doc = support::yaml::parse(text);
+    if (!doc.is_object()) {
+        throw support::ConfigError("experiment file must be a YAML mapping");
+    }
+    reject_unknown_keys(doc, {"experiment", "plate", "well_volume_ul", "faults", "retry"},
+                        "experiment file");
+
+    ColorPickerConfig config;
+    if (const json::Value* exp = doc.find("experiment")) {
+        reject_unknown_keys(*exp,
+                            {"target", "total_samples", "batch_size", "solver", "objective",
+                             "seed", "stop_threshold", "id", "date", "publish"},
+                            "experiment");
+        if (const json::Value* target = exp->find("target")) {
+            config.target = color_from_array(*target, "experiment.target");
+        }
+        config.total_samples = static_cast<int>(
+            exp->get_or("total_samples", std::int64_t{config.total_samples}));
+        config.batch_size =
+            static_cast<int>(exp->get_or("batch_size", std::int64_t{config.batch_size}));
+        config.solver = exp->get_or("solver", config.solver);
+        if (const json::Value* objective = exp->find("objective")) {
+            config.objective = objective_from_string(objective->as_string());
+        }
+        config.seed =
+            static_cast<std::uint64_t>(exp->get_or("seed", std::int64_t{1}));
+        config.stop_threshold = exp->get_or("stop_threshold", config.stop_threshold);
+        config.experiment_id = exp->get_or("id", config.experiment_id);
+        config.date = exp->get_or("date", config.date);
+        config.publish = exp->get_or("publish", config.publish);
+    }
+    if (const json::Value* plate = doc.find("plate")) {
+        reject_unknown_keys(*plate, {"rows", "cols"}, "plate");
+        config.plate_rows =
+            static_cast<int>(plate->get_or("rows", std::int64_t{config.plate_rows}));
+        config.plate_cols =
+            static_cast<int>(plate->get_or("cols", std::int64_t{config.plate_cols}));
+    }
+    if (const json::Value* volume = doc.find("well_volume_ul")) {
+        config.well_volume = support::Volume::microliters(volume->as_double());
+    }
+    if (const json::Value* faults = doc.find("faults")) {
+        reject_unknown_keys(*faults, {"command_rejection_prob"}, "faults");
+        config.faults.command_rejection_prob =
+            faults->get_or("command_rejection_prob", 0.0);
+    }
+    if (const json::Value* retry = doc.find("retry")) {
+        reject_unknown_keys(*retry, {"max_attempts", "human_rescue"}, "retry");
+        config.retry.max_attempts = static_cast<int>(
+            retry->get_or("max_attempts", std::int64_t{config.retry.max_attempts}));
+        config.retry.human_rescue = retry->get_or("human_rescue", config.retry.human_rescue);
+    }
+    return config;
+}
+
+ColorPickerConfig config_from_file(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) throw support::Error("io", "cannot open experiment file '" + path + "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return config_from_yaml(buffer.str());
+}
+
+std::string config_to_yaml(const ColorPickerConfig& config) {
+    json::Value doc = json::Value::object();
+    json::Value exp = json::Value::object();
+    json::Value target = json::Value::array();
+    target.push_back(static_cast<std::int64_t>(config.target.r));
+    target.push_back(static_cast<std::int64_t>(config.target.g));
+    target.push_back(static_cast<std::int64_t>(config.target.b));
+    exp.set("target", std::move(target));
+    exp.set("total_samples", config.total_samples);
+    exp.set("batch_size", config.batch_size);
+    exp.set("solver", config.solver);
+    exp.set("objective", objective_to_string(config.objective));
+    exp.set("seed", static_cast<std::int64_t>(config.seed));
+    exp.set("stop_threshold", config.stop_threshold);
+    if (!config.experiment_id.empty()) exp.set("id", config.experiment_id);
+    exp.set("date", config.date);
+    exp.set("publish", config.publish);
+    doc.set("experiment", std::move(exp));
+
+    json::Value plate = json::Value::object();
+    plate.set("rows", config.plate_rows);
+    plate.set("cols", config.plate_cols);
+    doc.set("plate", std::move(plate));
+    doc.set("well_volume_ul", config.well_volume.to_microliters());
+
+    json::Value faults = json::Value::object();
+    faults.set("command_rejection_prob", config.faults.command_rejection_prob);
+    doc.set("faults", std::move(faults));
+
+    json::Value retry = json::Value::object();
+    retry.set("max_attempts", config.retry.max_attempts);
+    retry.set("human_rescue", config.retry.human_rescue);
+    doc.set("retry", std::move(retry));
+    return support::yaml::dump(doc);
+}
+
+}  // namespace sdl::core

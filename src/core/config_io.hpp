@@ -1,0 +1,44 @@
+// Experiment configuration I/O: declare a whole color-picker experiment
+// in YAML (the same notation as workcells and workflows) and load it into
+// a ColorPickerConfig — the entry point for the sdlbench_run CLI.
+#pragma once
+
+#include <string>
+
+#include "core/colorpicker.hpp"
+
+namespace sdl::core {
+
+/// Parses an experiment document:
+///
+///   experiment:
+///     target: [120, 120, 120]
+///     total_samples: 128
+///     batch_size: 1
+///     solver: genetic            # any solver::solver_names() entry
+///     objective: rgb             # rgb | de76 | de2000
+///     seed: 7
+///     stop_threshold: 0.0
+///     id: my_experiment          # optional
+///     date: 2023-08-16           # optional
+///   plate:
+///     rows: 8
+///     cols: 12
+///   well_volume_ul: 80.0
+///   faults:
+///     command_rejection_prob: 0.0
+///   retry:
+///     max_attempts: 5
+///     human_rescue: true
+///
+/// Unknown keys raise ConfigError so typos fail loudly.
+[[nodiscard]] ColorPickerConfig config_from_yaml(std::string_view text);
+
+/// Loads a config from a file path.
+[[nodiscard]] ColorPickerConfig config_from_file(const std::string& path);
+
+/// Serializes the experiment-level knobs back to YAML (inverse of
+/// config_from_yaml for the documented subset).
+[[nodiscard]] std::string config_to_yaml(const ColorPickerConfig& config);
+
+}  // namespace sdl::core

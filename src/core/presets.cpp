@@ -1,0 +1,62 @@
+#include "core/presets.hpp"
+
+namespace sdl::core {
+
+ColorPickerConfig preset_table1(std::uint64_t seed) {
+    ColorPickerConfig config;
+    config.target = {120, 120, 120};
+    config.total_samples = 128;
+    config.batch_size = 1;
+    config.solver = "genetic";
+    config.seed = seed;
+    config.plate_rows = 8;
+    config.plate_cols = 16;  // 128-well plate: the whole run on one plate
+    config.date = "2023-08-16";
+    return config;
+}
+
+ColorPickerConfig preset_table1_96well(std::uint64_t seed) {
+    ColorPickerConfig config = preset_table1(seed);
+    config.plate_cols = 12;  // standard 96-well SBS plate
+    return config;
+}
+
+ColorPickerConfig preset_fig4(int batch_size, std::uint64_t seed) {
+    ColorPickerConfig config;
+    config.target = {120, 120, 120};
+    config.total_samples = 128;
+    config.batch_size = batch_size;
+    config.solver = "genetic";
+    config.seed = seed;
+    config.plate_rows = 8;
+    config.plate_cols = 12;
+    config.experiment_id = "fig4_B" + std::to_string(batch_size) + "_s" +
+                           std::to_string(seed);
+    return config;
+}
+
+ColorPickerConfig preset_fig3_portal(std::uint64_t seed) {
+    ColorPickerConfig config;
+    config.target = {120, 120, 120};
+    config.total_samples = 180;  // 12 runs x 15 samples
+    config.batch_size = 15;
+    config.solver = "genetic";
+    config.seed = seed;
+    config.plate_rows = 8;
+    config.plate_cols = 12;
+    config.experiment_id = "color_picker_2023-08-16";
+    config.date = "2023-08-16";
+    return config;
+}
+
+ColorPickerConfig preset_quickstart(std::uint64_t seed) {
+    ColorPickerConfig config;
+    config.target = {120, 120, 120};
+    config.total_samples = 24;
+    config.batch_size = 8;
+    config.solver = "genetic";
+    config.seed = seed;
+    return config;
+}
+
+}  // namespace sdl::core

@@ -1,0 +1,82 @@
+#include "core/workflows.hpp"
+
+namespace sdl::core {
+
+const wei::Workflow& wf_newplate() {
+    static const wei::Workflow wf = wei::Workflow::from_yaml(R"(name: cp_wf_newplate
+steps:
+  - name: get plate
+    module: sciclops
+    action: get_plate
+  - name: stage plate
+    module: pf400
+    action: transfer
+    args: {source: sciclops.exchange, target: camera.nest}
+  - name: fill reservoirs
+    module: barty
+    action: fill_colors
+)");
+    return wf;
+}
+
+const wei::Workflow& wf_mixcolor() {
+    static const wei::Workflow wf = wei::Workflow::from_yaml(R"(name: cp_wf_mixcolor
+steps:
+  - name: plate to ot2
+    module: pf400
+    action: transfer
+    args: {source: camera.nest, target: ot2.deck}
+  - name: mix colors
+    module: ot2
+    action: run_protocol
+    args: {protocol: mix_colors}
+  - name: plate to camera
+    module: pf400
+    action: transfer
+    args: {source: ot2.deck, target: camera.nest}
+  - name: photograph
+    module: camera
+    action: take_picture
+)");
+    return wf;
+}
+
+const wei::Workflow& wf_trashplate() {
+    static const wei::Workflow wf = wei::Workflow::from_yaml(R"(name: cp_wf_trashplate
+steps:
+  - name: plate to trash
+    module: pf400
+    action: transfer
+    args: {source: camera.nest, target: trash}
+  - name: drain reservoirs
+    module: barty
+    action: drain_colors
+)");
+    return wf;
+}
+
+const wei::Workflow& wf_replenish() {
+    static const wei::Workflow wf = wei::Workflow::from_yaml(R"(name: cp_wf_replenish
+steps:
+  - name: refill reservoirs
+    module: barty
+    action: refill_colors
+)");
+    return wf;
+}
+
+const wei::Workflow& wf_retake() {
+    static const wei::Workflow wf = wei::Workflow::from_yaml(R"(name: cp_wf_retake
+steps:
+  - name: photograph
+    module: camera
+    action: take_picture
+)");
+    return wf;
+}
+
+std::vector<const wei::Workflow*> all_workflows() {
+    return {&wf_newplate(), &wf_mixcolor(), &wf_trashplate(), &wf_replenish()};
+}
+
+}  // namespace sdl::core

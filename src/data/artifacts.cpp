@@ -1,0 +1,34 @@
+#include "data/artifacts.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "support/common.hpp"
+
+namespace sdl::data {
+
+namespace json = support::json;
+
+std::size_t write_run_artifacts(const wei::EventLog& log, const std::string& directory) {
+    std::error_code ec;
+    std::filesystem::create_directories(directory, ec);
+    if (ec) {
+        throw support::Error("io", "cannot create artifact directory '" + directory +
+                                       "': " + ec.message());
+    }
+
+    std::size_t written = 0;
+    const json::Value doc = log.to_json();
+    for (const json::Value& run : doc.at("workflow_runs").as_array()) {
+        const std::string name = run.at("name").as_string();
+        const std::string path =
+            directory + "/" + std::to_string(written) + "_" + name + ".json";
+        std::ofstream file(path);
+        if (!file) throw support::Error("io", "cannot write artifact '" + path + "'");
+        file << run.pretty() << "\n";
+        ++written;
+    }
+    return written;
+}
+
+}  // namespace sdl::data

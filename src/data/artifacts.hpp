@@ -1,0 +1,18 @@
+// Local run artifacts: "For each workflow that is run, a file is created
+// that details the step names run, their start time, end time and total
+// duration. These files are saved locally to the machine running the
+// workflow manager" (§2.3).
+#pragma once
+
+#include <string>
+
+#include "wei/event_log.hpp"
+
+namespace sdl::data {
+
+/// Writes one JSON file per workflow run under `directory` (created if
+/// absent), named "<index>_<workflow>.json". Returns the number of files
+/// written. Throws Error("io") when the directory cannot be used.
+std::size_t write_run_artifacts(const wei::EventLog& log, const std::string& directory);
+
+}  // namespace sdl::data

@@ -1,0 +1,44 @@
+#include "data/flow.hpp"
+
+#include <memory>
+
+namespace sdl::data {
+
+GlobusFlowSim::GlobusFlowSim(des::Simulation& sim, DataPortal& portal, FlowConfig config)
+    : sim_(sim), portal_(portal), config_(config), rng_(config.seed) {}
+
+support::Duration GlobusFlowSim::jittered(support::Duration base) {
+    const double factor = rng_.uniform(1.0 - config_.jitter, 1.0 + config_.jitter);
+    return base * factor;
+}
+
+void GlobusFlowSim::publish(support::json::Value document) {
+    ++in_flight_;
+    // Draw all stage durations up front so the flow is deterministic
+    // regardless of what else interleaves on the simulation.
+    const support::Duration transfer = jittered(config_.transfer_latency);
+    const support::Duration ingest = jittered(config_.ingest_latency);
+    const support::Duration index = jittered(config_.index_latency);
+
+    auto doc = std::make_shared<support::json::Value>(std::move(document));
+    sim_.schedule_in(transfer, [this, doc, ingest, index] {
+        // transfer done -> ingest
+        sim_.schedule_in(ingest, [this, doc, index] {
+            // ingest done -> index
+            sim_.schedule_in(index, [this, doc] {
+                portal_.ingest(std::move(*doc));
+                --in_flight_;
+                ++completed_;
+                completion_times_.push_back(sim_.now());
+            });
+        });
+    });
+}
+
+support::Duration GlobusFlowSim::mean_upload_interval() const noexcept {
+    if (completion_times_.size() < 2) return support::Duration::zero();
+    const support::Duration span = completion_times_.back() - completion_times_.front();
+    return span / static_cast<double>(completion_times_.size() - 1);
+}
+
+}  // namespace sdl::data

@@ -1,0 +1,120 @@
+#include "data/record.hpp"
+
+#include "support/common.hpp"
+
+namespace sdl::data {
+
+namespace json = support::json;
+
+namespace {
+
+json::Value color_to_json(color::Rgb8 c) {
+    json::Value v = json::Value::object();
+    v.set("r", static_cast<std::int64_t>(c.r));
+    v.set("g", static_cast<std::int64_t>(c.g));
+    v.set("b", static_cast<std::int64_t>(c.b));
+    return v;
+}
+
+color::Rgb8 color_from_json(const json::Value& v) {
+    return {static_cast<std::uint8_t>(v.at("r").as_int()),
+            static_cast<std::uint8_t>(v.at("g").as_int()),
+            static_cast<std::uint8_t>(v.at("b").as_int())};
+}
+
+json::Value doubles_to_json(const std::vector<double>& xs) {
+    json::Value arr = json::Value::array();
+    for (const double x : xs) arr.push_back(x);
+    return arr;
+}
+
+std::vector<double> doubles_from_json(const json::Value& v) {
+    std::vector<double> out;
+    for (const json::Value& x : v.as_array()) out.push_back(x.as_double());
+    return out;
+}
+
+}  // namespace
+
+json::Value SampleRecord::to_json() const {
+    json::Value v = json::Value::object();
+    v.set("type", "sample");
+    v.set("sample_index", sample_index);
+    v.set("well", well);
+    v.set("ratios", doubles_to_json(ratios));
+    v.set("volumes_ul", doubles_to_json(volumes_ul));
+    v.set("measured", color_to_json(measured));
+    v.set("score", score);
+    v.set("best_score_so_far", best_score_so_far);
+    v.set("measured_at_s", measured_at.to_seconds());
+    return v;
+}
+
+SampleRecord SampleRecord::from_json(const json::Value& v) {
+    SampleRecord r;
+    r.sample_index = static_cast<int>(v.at("sample_index").as_int());
+    r.well = static_cast<int>(v.at("well").as_int());
+    r.ratios = doubles_from_json(v.at("ratios"));
+    r.volumes_ul = doubles_from_json(v.at("volumes_ul"));
+    r.measured = color_from_json(v.at("measured"));
+    r.score = v.at("score").as_double();
+    r.best_score_so_far = v.at("best_score_so_far").as_double();
+    r.measured_at = support::TimePoint::from_seconds(v.at("measured_at_s").as_double());
+    return r;
+}
+
+json::Value RunRecord::to_json() const {
+    json::Value v = json::Value::object();
+    v.set("type", "run");
+    v.set("experiment_id", experiment_id);
+    v.set("run_number", run_number);
+    v.set("started_s", started.to_seconds());
+    v.set("ended_s", ended.to_seconds());
+    v.set("image_ref", image_ref);
+    v.set("best_score", best_score);
+    json::Value samples_json = json::Value::array();
+    for (const SampleRecord& s : samples) samples_json.push_back(s.to_json());
+    v.set("samples", std::move(samples_json));
+    return v;
+}
+
+RunRecord RunRecord::from_json(const json::Value& v) {
+    RunRecord r;
+    r.experiment_id = v.at("experiment_id").as_string();
+    r.run_number = static_cast<int>(v.at("run_number").as_int());
+    r.started = support::TimePoint::from_seconds(v.at("started_s").as_double());
+    r.ended = support::TimePoint::from_seconds(v.at("ended_s").as_double());
+    r.image_ref = v.at("image_ref").as_string();
+    r.best_score = v.at("best_score").as_double();
+    for (const json::Value& s : v.at("samples").as_array()) {
+        r.samples.push_back(SampleRecord::from_json(s));
+    }
+    return r;
+}
+
+json::Value ExperimentRecord::to_json() const {
+    json::Value v = json::Value::object();
+    v.set("type", "experiment");
+    v.set("experiment_id", experiment_id);
+    v.set("date", date);
+    v.set("solver", solver);
+    v.set("target", color_to_json(target));
+    v.set("batch_size", batch_size);
+    v.set("total_samples", total_samples);
+    v.set("run_count", run_count);
+    return v;
+}
+
+ExperimentRecord ExperimentRecord::from_json(const json::Value& v) {
+    ExperimentRecord r;
+    r.experiment_id = v.at("experiment_id").as_string();
+    r.date = v.at("date").as_string();
+    r.solver = v.at("solver").as_string();
+    r.target = color_from_json(v.at("target"));
+    r.batch_size = static_cast<int>(v.at("batch_size").as_int());
+    r.total_samples = static_cast<int>(v.at("total_samples").as_int());
+    r.run_count = static_cast<int>(v.at("run_count").as_int());
+    return r;
+}
+
+}  // namespace sdl::data

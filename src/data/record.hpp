@@ -1,0 +1,60 @@
+// Record schemas for published experiment data.
+//
+// Figure 3 shows the ACDC portal's two views of color-picker data: an
+// experiment summary ("12 runs each with 15 samples, for a total of 180
+// experiments") and per-run detail ("Detailed data from run #12"). These
+// structs are the documents behind those views: "the data created
+// includes the colors produced, the timing of each step, the scoring
+// results from the solver, and the raw plate images for quality control".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "color/rgb.hpp"
+#include "support/json.hpp"
+#include "support/units.hpp"
+
+namespace sdl::data {
+
+struct SampleRecord {
+    int sample_index = 0;  ///< global sequence number within the experiment
+    int well = 0;          ///< well index on its plate
+    std::vector<double> ratios;        ///< solver proposal
+    std::vector<double> volumes_ul;    ///< volumes actually requested
+    color::Rgb8 measured;              ///< camera readout
+    double score = 0.0;                ///< objective value
+    double best_score_so_far = 0.0;
+    support::TimePoint measured_at;
+
+    [[nodiscard]] support::json::Value to_json() const;
+    [[nodiscard]] static SampleRecord from_json(const support::json::Value& v);
+};
+
+struct RunRecord {
+    std::string experiment_id;
+    int run_number = 0;  ///< 1-based, as in "run #12"
+    std::vector<SampleRecord> samples;
+    support::TimePoint started;
+    support::TimePoint ended;
+    std::string image_ref;  ///< archived plate photo (quality control)
+    double best_score = 0.0;
+
+    [[nodiscard]] support::json::Value to_json() const;
+    [[nodiscard]] static RunRecord from_json(const support::json::Value& v);
+};
+
+struct ExperimentRecord {
+    std::string experiment_id;
+    std::string date;  ///< e.g. "2023-08-16"
+    std::string solver;
+    color::Rgb8 target;
+    int batch_size = 0;
+    int total_samples = 0;
+    int run_count = 0;
+
+    [[nodiscard]] support::json::Value to_json() const;
+    [[nodiscard]] static ExperimentRecord from_json(const support::json::Value& v);
+};
+
+}  // namespace sdl::data

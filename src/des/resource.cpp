@@ -1,0 +1,62 @@
+#include "des/resource.hpp"
+
+#include "support/common.hpp"
+
+namespace sdl::des {
+
+Resource::Resource(Simulation& sim, std::size_t capacity, std::string name)
+    : sim_(sim), capacity_(capacity), name_(std::move(name)) {
+    support::check(capacity > 0, "resource capacity must be positive");
+}
+
+void Resource::acquire(std::function<void()> on_grant) {
+    support::check(static_cast<bool>(on_grant), "empty resource continuation");
+    if (in_use_ < capacity_) {
+        ++in_use_;
+        // Defer through the event queue so grant ordering is always
+        // deterministic relative to other same-time events.
+        sim_.schedule_in(support::Duration::zero(), std::move(on_grant));
+    } else {
+        waiters_.push_back(std::move(on_grant));
+    }
+}
+
+void Resource::release() {
+    support::check(in_use_ > 0, "release without matching acquire");
+    if (!waiters_.empty()) {
+        auto next = std::move(waiters_.front());
+        waiters_.pop_front();
+        sim_.schedule_in(support::Duration::zero(), std::move(next));
+    } else {
+        --in_use_;
+    }
+}
+
+Store::Store(support::Volume capacity, support::Volume initial, std::string name)
+    : capacity_(capacity), level_(initial), name_(std::move(name)) {
+    support::check(capacity >= support::Volume::zero(), "negative store capacity");
+    support::check(initial >= support::Volume::zero() && initial <= capacity,
+                   "initial level outside [0, capacity]");
+}
+
+bool Store::try_withdraw(support::Volume amount) noexcept {
+    if (amount > level_) return false;
+    level_ -= amount;
+    return true;
+}
+
+support::Volume Store::deposit(support::Volume amount) noexcept {
+    const support::Volume space = capacity_ - level_;
+    const support::Volume accepted = amount < space ? amount : space;
+    level_ += accepted;
+    return accepted;
+}
+
+void Store::drain() noexcept { level_ = support::Volume::zero(); }
+
+double Store::fill_fraction() const noexcept {
+    if (capacity_ <= support::Volume::zero()) return 0.0;
+    return level_ / capacity_;
+}
+
+}  // namespace sdl::des

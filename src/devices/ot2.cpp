@@ -1,0 +1,170 @@
+#include "devices/ot2.hpp"
+
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace sdl::devices {
+
+namespace json = support::json;
+using support::Volume;
+
+Ot2Sim::Ot2Sim(Ot2Config config, wei::PlateRegistry& plates, wei::LocationMap& locations)
+    : config_(config),
+      plates_(plates),
+      locations_(locations),
+      mixer_(color::DyeLibrary::cmyk()),
+      reservoirs_{des::Store(config.reservoir_capacity, config.reservoir_initial, "cyan"),
+                  des::Store(config.reservoir_capacity, config.reservoir_initial, "magenta"),
+                  des::Store(config.reservoir_capacity, config.reservoir_initial, "yellow"),
+                  des::Store(config.reservoir_capacity, config.reservoir_initial, "black")},
+      rng_(config.noise_seed) {
+    info_ = wei::ModuleInfo{
+        config_.name,
+        "Opentrons OT-2",
+        "automatic pipetting device with four dye reservoirs",
+        {"run_protocol"},
+        /*robotic=*/true,
+    };
+}
+
+support::Duration Ot2Sim::estimate(const wei::ActionRequest& request) const {
+    std::size_t n_wells = 0;
+    if (const json::Value* d = request.args.find("dispenses")) {
+        if (d->is_array()) n_wells = d->as_array().size();
+    }
+    return config_.timing.protocol_overhead +
+           config_.timing.per_well * static_cast<double>(n_wells);
+}
+
+bool Ot2Sim::can_cover(std::span<const DispenseOrder> orders) const noexcept {
+    std::array<double, 4> needed_ul{0, 0, 0, 0};
+    for (const DispenseOrder& order : orders) {
+        for (std::size_t dye = 0; dye < 4; ++dye) {
+            needed_ul[dye] += order.volumes[dye].to_microliters();
+        }
+    }
+    for (std::size_t dye = 0; dye < 4; ++dye) {
+        // Head-room factor covers pipetting-noise overshoot.
+        if (Volume::microliters(needed_ul[dye] * 1.1) > reservoirs_[dye].level()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+json::Value Ot2Sim::make_protocol_args(std::span<const DispenseOrder> orders) {
+    json::Value args = json::Value::object();
+    args.set("protocol", "mix_colors");
+    json::Value dispenses = json::Value::array();
+    for (const DispenseOrder& order : orders) {
+        json::Value node = json::Value::object();
+        node.set("well", order.well);
+        json::Value volumes = json::Value::array();
+        for (const Volume v : order.volumes) volumes.push_back(v.to_microliters());
+        node.set("volumes_ul", std::move(volumes));
+        dispenses.push_back(std::move(node));
+    }
+    args.set("dispenses", std::move(dispenses));
+    return args;
+}
+
+std::vector<DispenseOrder> Ot2Sim::parse_protocol_args(const json::Value& args) {
+    std::vector<DispenseOrder> orders;
+    const json::Value* dispenses = args.find("dispenses");
+    if (dispenses == nullptr || !dispenses->is_array()) {
+        throw support::Error("device", "ot2 protocol args need a 'dispenses' array");
+    }
+    for (const json::Value& node : dispenses->as_array()) {
+        DispenseOrder order;
+        order.well = static_cast<int>(node.at("well").as_int());
+        const json::Array& volumes = node.at("volumes_ul").as_array();
+        if (volumes.size() != 4) {
+            throw support::Error("device", "ot2 dispense needs exactly 4 volumes");
+        }
+        for (std::size_t dye = 0; dye < 4; ++dye) {
+            order.volumes[dye] = Volume::microliters(volumes[dye].as_double());
+        }
+        orders.push_back(order);
+    }
+    return orders;
+}
+
+wei::ActionResult Ot2Sim::execute(const wei::ActionRequest& request) {
+    if (request.action != "run_protocol") {
+        return wei::ActionResult::failure(config_.name + ": unknown action '" +
+                                          request.action + "'");
+    }
+    const std::string protocol = request.args.get_or("protocol", std::string(""));
+    if (protocol != "mix_colors") {
+        return wei::ActionResult::failure(config_.name + ": unknown protocol '" + protocol +
+                                          "'");
+    }
+
+    const auto plate_id = locations_.peek(config_.deck_location);
+    if (!plate_id.has_value()) {
+        return wei::ActionResult::failure(config_.name + ": no plate on the deck");
+    }
+    wei::Plate& plate = plates_.get(*plate_id);
+
+    std::vector<DispenseOrder> orders;
+    try {
+        orders = parse_protocol_args(request.args);
+    } catch (const support::Error& e) {
+        return wei::ActionResult::failure(e.what());
+    }
+
+    // Validate everything before touching state so a failed protocol
+    // leaves the plate and the reservoirs unchanged.
+    for (const DispenseOrder& order : orders) {
+        if (order.well < 0 || order.well >= plate.capacity()) {
+            return wei::ActionResult::failure(config_.name + ": well index out of range");
+        }
+        if (plate.is_filled(order.well)) {
+            return wei::ActionResult::failure(config_.name + ": well " +
+                                              std::to_string(order.well) +
+                                              " already contains a sample");
+        }
+    }
+    if (!can_cover(orders)) {
+        return wei::ActionResult::failure(config_.name +
+                                          ": insufficient reservoir volume (needs refill)");
+    }
+
+    json::Value mixed = json::Value::array();
+    for (const DispenseOrder& order : orders) {
+        wei::WellContent content;
+        for (std::size_t dye = 0; dye < 4; ++dye) {
+            const double requested = order.volumes[dye].to_microliters();
+            double actual = 0.0;
+            if (requested > 0.0) {
+                // Proportional CV plus absolute floor, truncated at zero.
+                actual = requested * (1.0 + rng_.normal(0.0, config_.dispense_cv)) +
+                         rng_.normal(0.0, config_.dispense_sigma_ul);
+                actual = std::max(actual, 0.0);
+            }
+            if (!reservoirs_[dye].try_withdraw(Volume::microliters(actual))) {
+                return wei::ActionResult::failure(config_.name + ": reservoir '" +
+                                                  reservoirs_[dye].name() +
+                                                  "' ran dry mid-protocol");
+            }
+            content.volumes[dye] = Volume::microliters(actual);
+        }
+        content.true_color = mixer_.mix(content.volumes);
+        plate.fill(order.well, content);
+        ++wells_mixed_;
+
+        json::Value entry = json::Value::object();
+        entry.set("well", order.well);
+        entry.set("color", content.true_color.str());
+        mixed.push_back(std::move(entry));
+    }
+
+    json::Value data = json::Value::object();
+    data.set("plate_id", *plate_id);
+    data.set("wells_mixed", static_cast<std::int64_t>(orders.size()));
+    data.set("mixed", std::move(mixed));
+    return wei::ActionResult::success(std::move(data));
+}
+
+}  // namespace sdl::devices

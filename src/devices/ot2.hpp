@@ -1,0 +1,91 @@
+// ot2 — "an automatic pipetting device that contains four separate color
+// reservoirs and a set of pipette tips. Once the pf400 has delivered a
+// plate to the ot2 deck, it mixes liquids in the proportions set by the
+// optimization algorithm to generate new sample colors" (§2.2).
+//
+// The simulated chemistry: requested volumes are perturbed by pipetting
+// noise (proportional CV plus an absolute floor), withdrawn from the
+// reservoirs, and the resulting ground-truth color computed with the
+// Beer–Lambert mixer. Reservoir underflow is a hard device failure, which
+// the application resolves by scheduling barty's replenish workflow.
+#pragma once
+
+#include <array>
+
+#include "color/mixing.hpp"
+#include "des/resource.hpp"
+#include "devices/timing.hpp"
+#include "support/random.hpp"
+#include "wei/module.hpp"
+#include "wei/plate.hpp"
+
+namespace sdl::devices {
+
+struct Ot2Config {
+    /// Reservoir capacity per dye.
+    support::Volume reservoir_capacity = support::Volume::milliliters(25.0);
+    /// Initial level (the workcell starts drained; barty fills on newplate).
+    support::Volume reservoir_initial = support::Volume::zero();
+    /// Proportional pipetting error (coefficient of variation).
+    double dispense_cv = 0.02;
+    /// Absolute pipetting error floor in µL.
+    double dispense_sigma_ul = 0.4;
+    std::uint64_t noise_seed = 0x07B2;
+    Ot2Timing timing;
+    /// Module instance name (so workcells can mount several OT2s, the
+    /// paper's §4 "integrating additional OT2s" extension).
+    std::string name = "ot2";
+    /// Deck location this instance loads plates from.
+    std::string deck_location = wei::locations::kOt2Deck;
+};
+
+/// One dispense order: well index plus the four dye volumes in µL.
+struct DispenseOrder {
+    int well = 0;
+    std::array<support::Volume, 4> volumes{};
+};
+
+/// Actions:
+///   run_protocol — args {protocol: "mix_colors",
+///                        dispenses: [{well, volumes_ul: [c, m, y, k]}]}
+///                  mixes every listed well on the plate at the deck.
+class Ot2Sim final : public wei::Module {
+public:
+    Ot2Sim(Ot2Config config, wei::PlateRegistry& plates, wei::LocationMap& locations);
+
+    [[nodiscard]] const wei::ModuleInfo& info() const noexcept override { return info_; }
+    [[nodiscard]] support::Duration estimate(const wei::ActionRequest& request) const override;
+    [[nodiscard]] wei::ActionResult execute(const wei::ActionRequest& request) override;
+
+    /// Reservoirs are exposed so barty (and tests) can pump them.
+    [[nodiscard]] std::array<des::Store, 4>& reservoirs() noexcept { return reservoirs_; }
+    [[nodiscard]] const std::array<des::Store, 4>& reservoirs() const noexcept {
+        return reservoirs_;
+    }
+
+    /// True when every reservoir can cover `volumes` for all orders.
+    [[nodiscard]] bool can_cover(std::span<const DispenseOrder> orders) const noexcept;
+
+    [[nodiscard]] const color::BeerLambertMixer& mixer() const noexcept { return mixer_; }
+    [[nodiscard]] std::uint64_t wells_mixed() const noexcept { return wells_mixed_; }
+
+    /// Builds the run_protocol args payload for a batch of orders.
+    [[nodiscard]] static support::json::Value make_protocol_args(
+        std::span<const DispenseOrder> orders);
+
+    /// Parses the args payload back into orders (throws on malformed input).
+    [[nodiscard]] static std::vector<DispenseOrder> parse_protocol_args(
+        const support::json::Value& args);
+
+private:
+    Ot2Config config_;
+    wei::PlateRegistry& plates_;
+    wei::LocationMap& locations_;
+    wei::ModuleInfo info_;
+    color::BeerLambertMixer mixer_;
+    std::array<des::Store, 4> reservoirs_;
+    support::Rng rng_;
+    std::uint64_t wells_mixed_ = 0;
+};
+
+}  // namespace sdl::devices

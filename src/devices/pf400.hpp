@@ -1,0 +1,40 @@
+// pf400 — "the workcell's manipulator, a robotic arm used to transfer
+// microplates between different plate stations. Operating on a rail
+// mechanism, this robot acts as the central transportation unit within
+// the workcell" (§2.2).
+#pragma once
+
+#include "devices/timing.hpp"
+#include "wei/module.hpp"
+#include "wei/plate.hpp"
+
+namespace sdl::devices {
+
+struct Pf400Config {
+    Pf400Timing timing;
+};
+
+/// Actions:
+///   transfer — args {source: <location>, target: <location>}; picks the
+///              plate at `source` and places it at `target`. Placing on
+///              "trash" disposes of the plate.
+class Pf400Sim final : public wei::Module {
+public:
+    Pf400Sim(Pf400Config config, wei::LocationMap& locations);
+
+    [[nodiscard]] const wei::ModuleInfo& info() const noexcept override { return info_; }
+    [[nodiscard]] support::Duration estimate(const wei::ActionRequest& request) const override;
+    [[nodiscard]] wei::ActionResult execute(const wei::ActionRequest& request) override;
+
+    [[nodiscard]] std::uint64_t transfers_completed() const noexcept {
+        return transfers_completed_;
+    }
+
+private:
+    Pf400Config config_;
+    wei::LocationMap& locations_;
+    wei::ModuleInfo info_;
+    std::uint64_t transfers_completed_ = 0;
+};
+
+}  // namespace sdl::devices

@@ -1,0 +1,110 @@
+#include "imaging/components.hpp"
+
+#include <limits>
+
+namespace sdl::imaging {
+
+Labeling label_components(const BinaryImage& mask, std::size_t min_area) {
+    const int width = mask.width();
+    const int height = mask.height();
+    Labeling out;
+    out.width = width;
+    out.height = height;
+    out.labels.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), -1);
+
+    auto label_ref = [&](int x, int y) -> std::int32_t& {
+        return out.labels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                          static_cast<std::size_t>(x)];
+    };
+
+    std::vector<std::pair<int, int>> stack;
+    for (int sy = 0; sy < height; ++sy) {
+        for (int sx = 0; sx < width; ++sx) {
+            if (!mask.at(sx, sy) || label_ref(sx, sy) != -1) continue;
+
+            const auto current = static_cast<std::int32_t>(out.blobs.size());
+            Blob blob;
+            blob.label = current;
+            blob.bbox = {sx, sy, sx + 1, sy + 1};
+            double cx = 0.0, cy = 0.0;
+
+            stack.clear();
+            stack.emplace_back(sx, sy);
+            label_ref(sx, sy) = current;
+            while (!stack.empty()) {
+                const auto [x, y] = stack.back();
+                stack.pop_back();
+                ++blob.area;
+                cx += x;
+                cy += y;
+                blob.bbox.x0 = std::min(blob.bbox.x0, x);
+                blob.bbox.y0 = std::min(blob.bbox.y0, y);
+                blob.bbox.x1 = std::max(blob.bbox.x1, x + 1);
+                blob.bbox.y1 = std::max(blob.bbox.y1, y + 1);
+                for (int dy = -1; dy <= 1; ++dy) {
+                    for (int dx = -1; dx <= 1; ++dx) {
+                        if (dx == 0 && dy == 0) continue;
+                        const int nx = x + dx;
+                        const int ny = y + dy;
+                        if (nx < 0 || nx >= width || ny < 0 || ny >= height) continue;
+                        if (!mask.at(nx, ny) || label_ref(nx, ny) != -1) continue;
+                        label_ref(nx, ny) = current;
+                        stack.emplace_back(nx, ny);
+                    }
+                }
+            }
+
+            if (blob.area < min_area) {
+                // Erase the undersized component from the label plane.
+                for (int y = blob.bbox.y0; y < blob.bbox.y1; ++y) {
+                    for (int x = blob.bbox.x0; x < blob.bbox.x1; ++x) {
+                        if (label_ref(x, y) == current) label_ref(x, y) = -1;
+                    }
+                }
+                continue;
+            }
+            blob.centroid = {cx / static_cast<double>(blob.area),
+                             cy / static_cast<double>(blob.area)};
+            out.blobs.push_back(blob);
+        }
+    }
+
+    // Component indices may have gaps after dropping small blobs; remap to
+    // dense indices so labels match positions in `blobs`.
+    std::vector<std::int32_t> remap;
+    remap.assign(out.blobs.empty() ? 0 : static_cast<std::size_t>(out.blobs.back().label) + 1,
+                 -1);
+    for (std::size_t i = 0; i < out.blobs.size(); ++i) {
+        remap[static_cast<std::size_t>(out.blobs[i].label)] = static_cast<std::int32_t>(i);
+        out.blobs[i].label = static_cast<std::int32_t>(i);
+    }
+    for (auto& l : out.labels) {
+        if (l >= 0) l = l < static_cast<std::int32_t>(remap.size()) ? remap[static_cast<std::size_t>(l)] : -1;
+    }
+    return out;
+}
+
+std::vector<Vec2> boundary_pixels(const Labeling& labeling, std::int32_t blob_index) {
+    std::vector<Vec2> boundary;
+    const Blob& blob = labeling.blobs.at(static_cast<std::size_t>(blob_index));
+    for (int y = blob.bbox.y0; y < blob.bbox.y1; ++y) {
+        for (int x = blob.bbox.x0; x < blob.bbox.x1; ++x) {
+            if (labeling.label_at(x, y) != blob_index) continue;
+            bool edge = false;
+            for (int dy = -1; dy <= 1 && !edge; ++dy) {
+                for (int dx = -1; dx <= 1 && !edge; ++dx) {
+                    const int nx = x + dx;
+                    const int ny = y + dy;
+                    if (nx < 0 || nx >= labeling.width || ny < 0 || ny >= labeling.height ||
+                        labeling.label_at(nx, ny) != blob_index) {
+                        edge = true;
+                    }
+                }
+            }
+            if (edge) boundary.push_back({static_cast<double>(x), static_cast<double>(y)});
+        }
+    }
+    return boundary;
+}
+
+}  // namespace sdl::imaging

@@ -1,0 +1,42 @@
+// Connected-component labeling and blob statistics (marker candidates).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "imaging/geometry.hpp"
+#include "imaging/image.hpp"
+
+namespace sdl::imaging {
+
+struct Blob {
+    std::int32_t label = 0;
+    std::size_t area = 0;
+    Rect bbox;
+    Vec2 centroid;
+};
+
+struct Labeling {
+    /// -1 for background, otherwise index into `blobs`.
+    std::vector<std::int32_t> labels;
+    int width = 0;
+    int height = 0;
+    std::vector<Blob> blobs;
+
+    [[nodiscard]] std::int32_t label_at(int x, int y) const noexcept {
+        return labels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                      static_cast<std::size_t>(x)];
+    }
+};
+
+/// 8-connected component labeling via iterative flood fill (no recursion,
+/// so arbitrarily large blobs are safe). Components smaller than
+/// `min_area` are dropped (merged into background).
+[[nodiscard]] Labeling label_components(const BinaryImage& mask, std::size_t min_area = 1);
+
+/// Pixels of `blob` that touch the background (its boundary), used for
+/// corner extraction.
+[[nodiscard]] std::vector<Vec2> boundary_pixels(const Labeling& labeling,
+                                                std::int32_t blob_index);
+
+}  // namespace sdl::imaging

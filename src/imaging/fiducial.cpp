@@ -1,0 +1,252 @@
+#include "imaging/fiducial.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "imaging/components.hpp"
+#include "imaging/draw.hpp"
+#include "imaging/filters.hpp"
+#include "support/common.hpp"
+
+namespace sdl::imaging {
+
+std::uint16_t rotate_code_cw(std::uint16_t code) noexcept {
+    // Bit (r, c) of the source lands at (c, kGridBits-1-r) after a
+    // clockwise quarter turn.
+    std::uint16_t out = 0;
+    for (int r = 0; r < kGridBits; ++r) {
+        for (int c = 0; c < kGridBits; ++c) {
+            if ((code >> (r * kGridBits + c)) & 1U) {
+                const int nr = c;
+                const int nc = kGridBits - 1 - r;
+                out = static_cast<std::uint16_t>(out | (1U << (nr * kGridBits + nc)));
+            }
+        }
+    }
+    return out;
+}
+
+int hamming(std::uint16_t a, std::uint16_t b) noexcept {
+    return std::popcount(static_cast<unsigned>(a ^ b));
+}
+
+MarkerDictionary MarkerDictionary::generate(std::size_t count, int min_distance,
+                                            std::uint64_t seed) {
+    support::check(count > 0 && count <= 256, "dictionary size out of range");
+    support::Rng rng(seed);
+    std::vector<std::uint16_t> codes;
+    codes.reserve(count);
+
+    auto rotations = [](std::uint16_t c) {
+        std::array<std::uint16_t, 4> rots{c, 0, 0, 0};
+        for (int i = 1; i < 4; ++i) rots[static_cast<std::size_t>(i)] =
+            rotate_code_cw(rots[static_cast<std::size_t>(i - 1)]);
+        return rots;
+    };
+
+    std::size_t attempts = 0;
+    while (codes.size() < count) {
+        if (++attempts > 2'000'000) {
+            throw support::LogicError("marker dictionary generation did not converge");
+        }
+        const auto candidate = static_cast<std::uint16_t>(rng.next() & 0xFFFFU);
+        const int bits = std::popcount(static_cast<unsigned>(candidate));
+        if (bits < 5 || bits > 11) continue;  // avoid near-uniform patterns
+
+        const auto cand_rots = rotations(candidate);
+        // Rotation self-distance: all non-identity rotations must differ,
+        // otherwise orientation is ambiguous.
+        bool ok = true;
+        for (int k = 1; k < 4 && ok; ++k) {
+            if (hamming(candidate, cand_rots[static_cast<std::size_t>(k)]) < 4) ok = false;
+        }
+        for (const std::uint16_t existing : codes) {
+            if (!ok) break;
+            for (const std::uint16_t rot : cand_rots) {
+                if (hamming(existing, rot) < min_distance) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if (ok) codes.push_back(candidate);
+    }
+    return MarkerDictionary(std::move(codes));
+}
+
+const MarkerDictionary& MarkerDictionary::standard() {
+    static const MarkerDictionary dict = generate(16);
+    return dict;
+}
+
+std::optional<MarkerDictionary::Match> MarkerDictionary::match(
+    std::uint16_t observed, int max_correctable) const noexcept {
+    std::optional<Match> best;
+    for (std::size_t id = 0; id < codes_.size(); ++id) {
+        std::uint16_t rotated = codes_[id];
+        for (int k = 0; k < 4; ++k) {
+            const int d = hamming(observed, rotated);
+            if (d <= max_correctable && (!best || d < best->distance)) {
+                best = Match{id, k, d};
+            }
+            rotated = rotate_code_cw(rotated);
+        }
+    }
+    return best;
+}
+
+void render_marker(Image& img, const MarkerDictionary& dict, std::size_t id, Vec2 center,
+                   double side_px, double angle_rad) {
+    const std::uint16_t code = dict.code(id);
+    const double cell = side_px / kMarkerCells;
+
+    // Marker-local frame: origin at the black square's top-left corner,
+    // axes rotated by angle_rad.
+    const Vec2 ux = Vec2{1, 0}.rotated(angle_rad);
+    const Vec2 uy = Vec2{0, 1}.rotated(angle_rad);
+    const Vec2 top_left = center - ux * (side_px / 2) - uy * (side_px / 2);
+
+    auto cell_quad = [&](double c0, double r0, double c1, double r1) {
+        const Vec2 corners[4] = {
+            top_left + ux * (c0 * cell) + uy * (r0 * cell),
+            top_left + ux * (c1 * cell) + uy * (r0 * cell),
+            top_left + ux * (c1 * cell) + uy * (r1 * cell),
+            top_left + ux * (c0 * cell) + uy * (r1 * cell),
+        };
+        return std::array<Vec2, 4>{corners[0], corners[1], corners[2], corners[3]};
+    };
+    auto fill_cells = [&](double c0, double r0, double c1, double r1, color::Rgb8 col) {
+        const auto q = cell_quad(c0, r0, c1, r1);
+        const Vec2 corners[4] = {q[0], q[1], q[2], q[3]};
+        fill_quad(img, corners, col);
+    };
+
+    // White card backing extends one cell beyond the black square.
+    constexpr color::Rgb8 kWhite{245, 245, 245};
+    constexpr color::Rgb8 kBlack{15, 15, 15};
+    fill_cells(-1, -1, kMarkerCells + 1, kMarkerCells + 1, kWhite);
+    // Black square (border + payload area all black first).
+    fill_cells(0, 0, kMarkerCells, kMarkerCells, kBlack);
+    // White payload cells.
+    for (int r = 0; r < kGridBits; ++r) {
+        for (int c = 0; c < kGridBits; ++c) {
+            if ((code >> (r * kGridBits + c)) & 1U) {
+                fill_cells(c + 1, r + 1, c + 2, r + 2, kWhite);
+            }
+        }
+    }
+}
+
+namespace {
+
+/// Samples the marker payload through the homography and thresholds cells
+/// against the midpoint of observed extremes. Returns nullopt if the
+/// border is not uniformly dark.
+std::optional<std::uint16_t> sample_payload(const GrayImage& gray, const Homography& h) {
+    std::array<std::array<float, kMarkerCells>, kMarkerCells> cells{};
+    float lo = 1.0F, hi = 0.0F;
+    for (int r = 0; r < kMarkerCells; ++r) {
+        for (int c = 0; c < kMarkerCells; ++c) {
+            // Average a 3x3 probe inside each cell for noise robustness.
+            float acc = 0.0F;
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    const double u = (c + 0.5 + dx * 0.2) / kMarkerCells;
+                    const double v = (r + 0.5 + dy * 0.2) / kMarkerCells;
+                    const Vec2 p = h.apply({u, v});
+                    acc += sample_bilinear(gray, p.x, p.y);
+                }
+            }
+            const float val = acc / 9.0F;
+            cells[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = val;
+            lo = std::min(lo, val);
+            hi = std::max(hi, val);
+        }
+    }
+    if (hi - lo < 0.15F) return std::nullopt;  // no contrast: not a marker
+    const float mid = 0.5F * (lo + hi);
+
+    // Border cells must all read dark.
+    for (int i = 0; i < kMarkerCells; ++i) {
+        if (cells[0][static_cast<std::size_t>(i)] > mid ||
+            cells[kMarkerCells - 1][static_cast<std::size_t>(i)] > mid ||
+            cells[static_cast<std::size_t>(i)][0] > mid ||
+            cells[static_cast<std::size_t>(i)][kMarkerCells - 1] > mid) {
+            return std::nullopt;
+        }
+    }
+    std::uint16_t code = 0;
+    for (int r = 0; r < kGridBits; ++r) {
+        for (int c = 0; c < kGridBits; ++c) {
+            if (cells[static_cast<std::size_t>(r + 1)][static_cast<std::size_t>(c + 1)] > mid) {
+                code = static_cast<std::uint16_t>(code | (1U << (r * kGridBits + c)));
+            }
+        }
+    }
+    return code;
+}
+
+}  // namespace
+
+std::vector<MarkerDetection> detect_markers(const Image& img, const MarkerDictionary& dict,
+                                            const MarkerDetectParams& params) {
+    std::vector<MarkerDetection> detections;
+    if (img.width() < 8 || img.height() < 8) return detections;
+
+    const GrayImage gray = to_gray(img);
+    const GrayImage smooth = gaussian_blur(gray, params.blur_sigma);
+    const BinaryImage dark = adaptive_threshold(smooth, params.adaptive_window,
+                                                params.adaptive_offset);
+    const auto min_area =
+        static_cast<std::size_t>(params.min_side_px * params.min_side_px * 0.3);
+    const Labeling labeling = label_components(dark, min_area);
+
+    for (std::int32_t i = 0; i < static_cast<std::int32_t>(labeling.blobs.size()); ++i) {
+        const Blob& blob = labeling.blobs[static_cast<std::size_t>(i)];
+        const double bbox_side = std::max(blob.bbox.width(), blob.bbox.height());
+        if (bbox_side < params.min_side_px || bbox_side > params.max_side_px * 1.5) continue;
+
+        const std::vector<Vec2> boundary = boundary_pixels(labeling, i);
+        const auto quad = extract_quad(boundary);
+        if (!quad) continue;
+        if (squareness(*quad) < params.min_squareness) continue;
+        const double side = mean_side(*quad);
+        if (side < params.min_side_px || side > params.max_side_px) continue;
+
+        // The marker's black area is the border plus unset payload bits;
+        // it must cover a plausible fraction of the quad.
+        const double quad_area = side * side;
+        const double fill = static_cast<double>(blob.area) / quad_area;
+        if (fill < 0.35 || fill > 1.05) continue;
+
+        Homography h;
+        try {
+            h = Homography::unit_square_to(*quad);
+        } catch (const support::Error&) {
+            continue;
+        }
+        const auto payload = sample_payload(smooth, h);
+        if (!payload) continue;
+        const auto match = dict.match(*payload, params.max_correctable_bits);
+        if (!match) continue;
+
+        MarkerDetection det;
+        det.id = match->id;
+        det.corners = *quad;
+        det.center = (det.corners[0] + det.corners[1] + det.corners[2] + det.corners[3]) * 0.25;
+        det.side = side;
+        det.bit_errors = match->distance;
+        // Orientation: observed payload = rot_cw^k(canonical) means the
+        // canonical pattern appears turned k quarter-turns clockwise in
+        // the quad frame, so canonical corner 0 (payload top-left) sits at
+        // detected corner k. The canonical x-axis is the edge 0 -> 1.
+        const std::size_t j0 = static_cast<std::size_t>(match->rotation % 4);
+        const std::size_t j1 = (j0 + 1) % 4;
+        const Vec2 xaxis = det.corners[j1] - det.corners[j0];
+        det.angle = std::atan2(xaxis.y, xaxis.x);
+        detections.push_back(det);
+    }
+    return detections;
+}
+
+}  // namespace sdl::imaging

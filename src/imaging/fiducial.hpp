@@ -1,0 +1,94 @@
+// Square fiducial markers (a compact ArUco equivalent).
+//
+// The lab stations the microplate at a known offset from an ArUco marker
+// and derives the plate's approximate pixel boundaries from the marker's
+// detected size and position (§2.4). This module implements the same
+// mechanism from scratch: a 4x4-bit payload surrounded by a one-cell
+// black border, a dictionary with guaranteed rotational ambiguity-free
+// codes, an encoder that rasterizes markers into camera frames, and a
+// detector that recovers id, corners, scale and orientation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "imaging/image.hpp"
+#include "imaging/quad.hpp"
+#include "support/random.hpp"
+
+namespace sdl::imaging {
+
+/// Payload grid dimension (bits are kGridBits x kGridBits).
+inline constexpr int kGridBits = 4;
+/// Full marker dimension in cells, including the black border.
+inline constexpr int kMarkerCells = kGridBits + 2;
+
+/// Rotates a 4x4 bit pattern 90° clockwise.
+[[nodiscard]] std::uint16_t rotate_code_cw(std::uint16_t code) noexcept;
+
+/// Hamming distance between two 16-bit codes.
+[[nodiscard]] int hamming(std::uint16_t a, std::uint16_t b) noexcept;
+
+/// A dictionary of marker codes with pairwise (rotation-inclusive)
+/// Hamming distance >= `min_distance` and self-rotation distance >= 4,
+/// so every observation decodes to a unique (id, rotation).
+class MarkerDictionary {
+public:
+    /// Deterministically generates `count` codes (same seed -> same dictionary).
+    [[nodiscard]] static MarkerDictionary generate(std::size_t count, int min_distance = 6,
+                                                   std::uint64_t seed = 0xA5C0DE);
+
+    /// The default 16-marker dictionary used across sdlbench.
+    [[nodiscard]] static const MarkerDictionary& standard();
+
+    [[nodiscard]] std::size_t size() const noexcept { return codes_.size(); }
+    [[nodiscard]] std::uint16_t code(std::size_t id) const { return codes_.at(id); }
+
+    /// Looks up an observed payload; returns (id, rotation) where
+    /// rotation is the number of clockwise 90° turns that map the
+    /// canonical code onto the observation. Tolerates up to
+    /// `max_correctable` bit errors.
+    struct Match {
+        std::size_t id;
+        int rotation;
+        int distance;
+    };
+    [[nodiscard]] std::optional<Match> match(std::uint16_t observed,
+                                             int max_correctable = 1) const noexcept;
+
+private:
+    explicit MarkerDictionary(std::vector<std::uint16_t> codes) : codes_(std::move(codes)) {}
+    std::vector<std::uint16_t> codes_;
+};
+
+/// Draws marker `id` onto `img`: a white card backing plus the black
+/// border and payload cells, centered at `center` with black-square side
+/// `side_px`, rotated by `angle_rad` (clockwise on screen, y-down).
+void render_marker(Image& img, const MarkerDictionary& dict, std::size_t id, Vec2 center,
+                   double side_px, double angle_rad);
+
+struct MarkerDetection {
+    std::size_t id = 0;
+    Quad corners;      ///< detected black-square corners, clockwise
+    Vec2 center;       ///< corner centroid
+    double side = 0;   ///< mean side length in pixels
+    double angle = 0;  ///< marker x-axis direction in image coords (rad)
+    int bit_errors = 0;
+};
+
+struct MarkerDetectParams {
+    double min_side_px = 12.0;       ///< reject tiny candidates
+    double max_side_px = 400.0;      ///< reject huge candidates
+    double min_squareness = 0.6;     ///< side-ratio gate for quads
+    float adaptive_offset = 0.08F;   ///< threshold margin below local mean
+    int adaptive_window = 31;        ///< local-mean window (odd)
+    double blur_sigma = 0.8;         ///< denoise before thresholding
+    int max_correctable_bits = 1;    ///< dictionary error correction
+};
+
+/// Finds all dictionary markers in the frame.
+[[nodiscard]] std::vector<MarkerDetection> detect_markers(
+    const Image& img, const MarkerDictionary& dict, const MarkerDetectParams& params = {});
+
+}  // namespace sdl::imaging

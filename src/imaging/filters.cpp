@@ -1,0 +1,143 @@
+#include "imaging/filters.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace sdl::imaging {
+
+GrayImage gaussian_blur(const GrayImage& img, double sigma) {
+    if (sigma <= 0.0 || img.width() == 0 || img.height() == 0) return img;
+    const int radius = static_cast<int>(std::ceil(3.0 * sigma));
+    std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+    float sum = 0.0F;
+    for (int i = -radius; i <= radius; ++i) {
+        const auto w = static_cast<float>(std::exp(-0.5 * (i * i) / (sigma * sigma)));
+        kernel[static_cast<std::size_t>(i + radius)] = w;
+        sum += w;
+    }
+    for (float& w : kernel) w /= sum;
+
+    const int width = img.width();
+    const int height = img.height();
+    GrayImage tmp(width, height);
+    GrayImage out(width, height);
+
+    // Horizontal pass with clamped borders.
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            float acc = 0.0F;
+            for (int k = -radius; k <= radius; ++k) {
+                const int xx = support::clamp(x + k, 0, width - 1);
+                acc += kernel[static_cast<std::size_t>(k + radius)] * img.at(xx, y);
+            }
+            tmp.at(x, y) = acc;
+        }
+    }
+    // Vertical pass.
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            float acc = 0.0F;
+            for (int k = -radius; k <= radius; ++k) {
+                const int yy = support::clamp(y + k, 0, height - 1);
+                acc += kernel[static_cast<std::size_t>(k + radius)] * tmp.at(x, yy);
+            }
+            out.at(x, y) = acc;
+        }
+    }
+    return out;
+}
+
+Gradients sobel(const GrayImage& img) {
+    const int width = img.width();
+    const int height = img.height();
+    Gradients g{GrayImage(width, height), GrayImage(width, height)};
+    if (width < 3 || height < 3) return g;
+    for (int y = 1; y < height - 1; ++y) {
+        for (int x = 1; x < width - 1; ++x) {
+            const float p00 = img.at(x - 1, y - 1), p10 = img.at(x, y - 1),
+                        p20 = img.at(x + 1, y - 1);
+            const float p01 = img.at(x - 1, y), p21 = img.at(x + 1, y);
+            const float p02 = img.at(x - 1, y + 1), p12 = img.at(x, y + 1),
+                        p22 = img.at(x + 1, y + 1);
+            g.gx.at(x, y) = (p20 + 2 * p21 + p22) - (p00 + 2 * p01 + p02);
+            g.gy.at(x, y) = (p02 + 2 * p12 + p22) - (p00 + 2 * p10 + p20);
+        }
+    }
+    return g;
+}
+
+BinaryImage threshold_below(const GrayImage& img, float t) {
+    BinaryImage mask(img.width(), img.height());
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            mask.set(x, y, img.at(x, y) < t);
+        }
+    }
+    return mask;
+}
+
+namespace {
+
+/// Summed-area table with an extra zero row/column.
+std::vector<double> integral_image(const GrayImage& img) {
+    const int width = img.width();
+    const int height = img.height();
+    std::vector<double> integral(static_cast<std::size_t>(width + 1) *
+                                 static_cast<std::size_t>(height + 1));
+    const auto at = [&](int x, int y) -> double& {
+        return integral[static_cast<std::size_t>(y) * static_cast<std::size_t>(width + 1) +
+                        static_cast<std::size_t>(x)];
+    };
+    for (int y = 1; y <= height; ++y) {
+        double row_sum = 0.0;
+        for (int x = 1; x <= width; ++x) {
+            row_sum += img.at(x - 1, y - 1);
+            at(x, y) = at(x, y - 1) + row_sum;
+        }
+    }
+    return integral;
+}
+
+double boxed_sum(const std::vector<double>& integral, int width, Rect r) {
+    const auto at = [&](int x, int y) {
+        return integral[static_cast<std::size_t>(y) * static_cast<std::size_t>(width + 1) +
+                        static_cast<std::size_t>(x)];
+    };
+    return at(r.x1, r.y1) - at(r.x0, r.y1) - at(r.x1, r.y0) + at(r.x0, r.y0);
+}
+
+}  // namespace
+
+BinaryImage adaptive_threshold(const GrayImage& img, int window, float offset) {
+    support::check(window >= 3 && window % 2 == 1, "window must be odd and >= 3");
+    const int width = img.width();
+    const int height = img.height();
+    BinaryImage mask(width, height);
+    if (width == 0 || height == 0) return mask;
+    const std::vector<double> integral = integral_image(img);
+    const int half = window / 2;
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const Rect r = Rect{x - half, y - half, x + half + 1, y + half + 1}.clipped(
+                width, height);
+            const double n = static_cast<double>(r.width()) * r.height();
+            const double mean = boxed_sum(integral, width, r) / n;
+            mask.set(x, y, img.at(x, y) < mean - offset);
+        }
+    }
+    return mask;
+}
+
+float region_mean(const GrayImage& img, Rect rect) {
+    const Rect r = rect.clipped(img.width(), img.height());
+    if (r.width() == 0 || r.height() == 0) return 0.0F;
+    double sum = 0.0;
+    for (int y = r.y0; y < r.y1; ++y) {
+        for (int x = r.x0; x < r.x1; ++x) sum += img.at(x, y);
+    }
+    return static_cast<float>(sum / (static_cast<double>(r.width()) * r.height()));
+}
+
+}  // namespace sdl::imaging

@@ -1,0 +1,33 @@
+// Image filters: separable Gaussian blur, Sobel gradients, fixed and
+// adaptive thresholding — the preprocessing stages of §2.4's pipeline.
+#pragma once
+
+#include "imaging/geometry.hpp"
+#include "imaging/image.hpp"
+
+namespace sdl::imaging {
+
+/// Separable Gaussian blur; kernel radius = ceil(3*sigma). sigma <= 0
+/// returns the input unchanged.
+[[nodiscard]] GrayImage gaussian_blur(const GrayImage& img, double sigma);
+
+/// Horizontal and vertical Sobel derivative planes.
+struct Gradients {
+    GrayImage gx;
+    GrayImage gy;
+};
+[[nodiscard]] Gradients sobel(const GrayImage& img);
+
+/// mask(x,y) = img(x,y) < t  (dark-object segmentation; the fiducial
+/// marker is black on a white card).
+[[nodiscard]] BinaryImage threshold_below(const GrayImage& img, float t);
+
+/// Adaptive mean threshold: mask = img < local_mean(window) - offset,
+/// computed with an integral image (O(1) per pixel).
+[[nodiscard]] BinaryImage adaptive_threshold(const GrayImage& img, int window,
+                                             float offset);
+
+/// Mean of a rectangular region (clipped); exposed for tests.
+[[nodiscard]] float region_mean(const GrayImage& img, Rect rect);
+
+}  // namespace sdl::imaging

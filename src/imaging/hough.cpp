@@ -1,0 +1,172 @@
+#include "imaging/hough.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/filters.hpp"
+#include "support/common.hpp"
+
+namespace sdl::imaging {
+
+std::vector<CircleDetection> hough_circles(const GrayImage& gray, const HoughParams& params) {
+    support::check(params.r_min > 0 && params.r_max >= params.r_min, "invalid radius range");
+    std::vector<CircleDetection> circles;
+
+    Rect roi = params.roi;
+    if (roi.width() <= 0 || roi.height() <= 0) {
+        roi = {0, 0, gray.width(), gray.height()};
+    }
+    roi = roi.clipped(gray.width(), gray.height());
+    const int rw = roi.width();
+    const int rh = roi.height();
+    if (rw < 3 || rh < 3) return circles;
+
+    // Work on a cropped copy so smoothing and gradients cost O(ROI), not
+    // O(frame) — the plate region is typically a fraction of the image.
+    GrayImage cropped(rw, rh);
+    for (int y = 0; y < rh; ++y) {
+        for (int x = 0; x < rw; ++x) {
+            cropped.at(x, y) = gray.at(x + roi.x0, y + roi.y0);
+        }
+    }
+    const GrayImage smooth = gaussian_blur(cropped, params.blur_sigma);
+    const Gradients grad = sobel(smooth);
+
+    // Edge pixels (local ROI coordinates).
+    struct Edge {
+        float x;
+        float y;
+        float dx;
+        float dy;
+    };
+    std::vector<Edge> edges;
+    for (int y = 0; y < rh; ++y) {
+        for (int x = 0; x < rw; ++x) {
+            const double gx = grad.gx.at(x, y);
+            const double gy = grad.gy.at(x, y);
+            const double mag = std::hypot(gx, gy);
+            if (mag < params.grad_threshold) continue;
+            edges.push_back({static_cast<float>(x), static_cast<float>(y),
+                             static_cast<float>(gx / mag), static_cast<float>(gy / mag)});
+        }
+    }
+    if (edges.empty()) return circles;
+
+    // Stage 1: center accumulator.
+    std::vector<float> acc(static_cast<std::size_t>(rw) * static_cast<std::size_t>(rh), 0.0F);
+    const int ir_min = static_cast<int>(std::floor(params.r_min));
+    const int ir_max = static_cast<int>(std::ceil(params.r_max));
+    for (const Edge& e : edges) {
+        for (int r = ir_min; r <= ir_max; ++r) {
+            for (const int sign : {-1, 1}) {
+                const int cx = static_cast<int>(std::lround(e.x + sign * r * e.dx));
+                const int cy = static_cast<int>(std::lround(e.y + sign * r * e.dy));
+                if (cx < 0 || cx >= rw || cy < 0 || cy >= rh) continue;
+                acc[static_cast<std::size_t>(cy) * static_cast<std::size_t>(rw) +
+                    static_cast<std::size_t>(cx)] += 1.0F;
+            }
+        }
+    }
+
+    // Light 3x3 smoothing concentrates votes split between adjacent bins.
+    std::vector<float> smooth_acc(acc.size(), 0.0F);
+    for (int y = 1; y < rh - 1; ++y) {
+        for (int x = 1; x < rw - 1; ++x) {
+            float s = 0.0F;
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    s += acc[static_cast<std::size_t>(y + dy) * static_cast<std::size_t>(rw) +
+                             static_cast<std::size_t>(x + dx)];
+                }
+            }
+            smooth_acc[static_cast<std::size_t>(y) * static_cast<std::size_t>(rw) +
+                       static_cast<std::size_t>(x)] = s / 9.0F;
+        }
+    }
+
+    // Collect local maxima.
+    struct Peak {
+        int x;
+        int y;
+        float votes;
+    };
+    std::vector<Peak> peaks;
+    float strongest = 0.0F;
+    for (int y = 1; y < rh - 1; ++y) {
+        for (int x = 1; x < rw - 1; ++x) {
+            const float v = smooth_acc[static_cast<std::size_t>(y) * static_cast<std::size_t>(rw) +
+                                       static_cast<std::size_t>(x)];
+            if (v < params.min_votes) continue;
+            bool is_max = true;
+            for (int dy = -1; dy <= 1 && is_max; ++dy) {
+                for (int dx = -1; dx <= 1 && is_max; ++dx) {
+                    if (dx == 0 && dy == 0) continue;
+                    const float n =
+                        smooth_acc[static_cast<std::size_t>(y + dy) * static_cast<std::size_t>(rw) +
+                                   static_cast<std::size_t>(x + dx)];
+                    if (n > v) is_max = false;
+                }
+            }
+            if (is_max) {
+                peaks.push_back({x, y, v});
+                strongest = std::max(strongest, v);
+            }
+        }
+    }
+    std::sort(peaks.begin(), peaks.end(),
+              [](const Peak& a, const Peak& b) { return a.votes > b.votes; });
+
+    // Non-maximum suppression + radius estimation.
+    const double vote_floor = std::max(params.min_votes,
+                                       params.vote_fraction * static_cast<double>(strongest));
+    const double min_dist2 = params.min_center_dist * params.min_center_dist;
+    const float reach = static_cast<float>(ir_max + 1);
+    std::vector<int> radius_hist(static_cast<std::size_t>(ir_max) + 2, 0);
+    for (const Peak& p : peaks) {
+        if (p.votes < vote_floor) break;
+        bool suppressed = false;
+        for (const CircleDetection& c : circles) {
+            const double ddx = c.center.x - (p.x + roi.x0);
+            const double ddy = c.center.y - (p.y + roi.y0);
+            if (ddx * ddx + ddy * ddy < min_dist2) {
+                suppressed = true;
+                break;
+            }
+        }
+        if (suppressed) continue;
+
+        // Stage 2: radius = mode of supporting edge distances whose
+        // gradient points through the center. Squared-distance gating
+        // keeps the scan cheap: most edges belong to other wells.
+        std::fill(radius_hist.begin(), radius_hist.end(), 0);
+        const float r2_max = reach * reach;
+        const float r2_min = static_cast<float>((ir_min - 1) * (ir_min - 1));
+        for (const Edge& e : edges) {
+            const float dx = e.x - static_cast<float>(p.x);
+            const float dy = e.y - static_cast<float>(p.y);
+            const float d2 = dx * dx + dy * dy;
+            if (d2 > r2_max || d2 < r2_min || d2 < 1e-6F) continue;
+            const float d = std::sqrt(d2);
+            // The gradient must be near-radial for this edge to support
+            // the circle.
+            const float align = std::fabs((dx * e.dx + dy * e.dy) / d);
+            if (align < 0.85F) continue;
+            const auto bin = static_cast<std::size_t>(std::lround(d));
+            if (bin < radius_hist.size()) ++radius_hist[bin];
+        }
+        std::size_t best_bin = static_cast<std::size_t>(ir_min);
+        for (std::size_t r = static_cast<std::size_t>(ir_min); r < radius_hist.size(); ++r) {
+            if (radius_hist[r] > radius_hist[best_bin]) best_bin = r;
+        }
+        if (radius_hist[best_bin] <= 2) continue;  // no radial support: noise peak
+
+        circles.push_back({{static_cast<double>(p.x + roi.x0),
+                            static_cast<double>(p.y + roi.y0)},
+                           static_cast<double>(best_bin),
+                           static_cast<double>(p.votes)});
+        if (circles.size() >= params.max_circles) break;
+    }
+    return circles;
+}
+
+}  // namespace sdl::imaging

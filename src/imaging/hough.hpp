@@ -1,0 +1,42 @@
+// Hough circle transform (gradient-directed two-stage variant).
+//
+// Stage 1 accumulates center votes by marching along the gradient
+// direction of every strong edge pixel for each candidate radius; local
+// maxima after non-maximum suppression become circle centers. Stage 2
+// estimates each circle's radius from the mode of supporting edge-pixel
+// distances. This mirrors OpenCV's HOUGH_GRADIENT method, the algorithm
+// the paper uses to find microplate wells (§2.4).
+#pragma once
+
+#include <vector>
+
+#include "imaging/geometry.hpp"
+#include "imaging/image.hpp"
+
+namespace sdl::imaging {
+
+struct CircleDetection {
+    Vec2 center;
+    double radius = 0.0;
+    double votes = 0.0;  ///< accumulator support at the center
+};
+
+struct HoughParams {
+    double r_min = 5.0;
+    double r_max = 20.0;
+    float grad_threshold = 0.06F;     ///< minimum Sobel magnitude for edges
+    double min_center_dist = 10.0;    ///< non-max suppression distance
+    double vote_fraction = 0.25;      ///< accept peaks >= fraction of the
+                                      ///< strongest peak's votes
+    double min_votes = 8.0;           ///< absolute vote floor
+    std::size_t max_circles = 256;
+    Rect roi;                         ///< zero-size = whole image
+    double blur_sigma = 1.0;          ///< pre-smoothing
+};
+
+/// Detects circles in a grayscale frame. Results are sorted by votes,
+/// strongest first.
+[[nodiscard]] std::vector<CircleDetection> hough_circles(const GrayImage& gray,
+                                                         const HoughParams& params);
+
+}  // namespace sdl::imaging

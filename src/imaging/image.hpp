@@ -1,0 +1,117 @@
+// Image buffers: 8-bit RGB (camera frames) and float grayscale
+// (intermediate pipeline planes). Row-major, y-down, origin top-left.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "color/rgb.hpp"
+
+namespace sdl::imaging {
+
+class Image {
+public:
+    Image() = default;
+    Image(int width, int height, color::Rgb8 fill = {0, 0, 0});
+
+    [[nodiscard]] int width() const noexcept { return width_; }
+    [[nodiscard]] int height() const noexcept { return height_; }
+    [[nodiscard]] bool in_bounds(int x, int y) const noexcept {
+        return x >= 0 && x < width_ && y >= 0 && y < height_;
+    }
+
+    [[nodiscard]] color::Rgb8 pixel(int x, int y) const noexcept {
+        const std::size_t i = index(x, y);
+        return {data_[i], data_[i + 1], data_[i + 2]};
+    }
+    void set_pixel(int x, int y, color::Rgb8 c) noexcept {
+        const std::size_t i = index(x, y);
+        data_[i] = c.r;
+        data_[i + 1] = c.g;
+        data_[i + 2] = c.b;
+    }
+
+    /// Raw interleaved RGB bytes (size = 3 * width * height).
+    [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept { return data_; }
+    [[nodiscard]] std::span<std::uint8_t> bytes() noexcept { return data_; }
+
+private:
+    [[nodiscard]] std::size_t index(int x, int y) const noexcept {
+        return 3 * (static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                    static_cast<std::size_t>(x));
+    }
+
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<std::uint8_t> data_;
+};
+
+/// Single-channel float plane, values nominally in [0, 1].
+class GrayImage {
+public:
+    GrayImage() = default;
+    GrayImage(int width, int height, float fill = 0.0F);
+
+    [[nodiscard]] int width() const noexcept { return width_; }
+    [[nodiscard]] int height() const noexcept { return height_; }
+    [[nodiscard]] bool in_bounds(int x, int y) const noexcept {
+        return x >= 0 && x < width_ && y >= 0 && y < height_;
+    }
+
+    [[nodiscard]] float at(int x, int y) const noexcept {
+        return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                     static_cast<std::size_t>(x)];
+    }
+    [[nodiscard]] float& at(int x, int y) noexcept {
+        return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                     static_cast<std::size_t>(x)];
+    }
+
+    [[nodiscard]] std::span<const float> values() const noexcept { return data_; }
+    [[nodiscard]] std::span<float> values() noexcept { return data_; }
+
+private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<float> data_;
+};
+
+/// Binary mask stored one byte per pixel (0 or 1).
+class BinaryImage {
+public:
+    BinaryImage() = default;
+    BinaryImage(int width, int height, bool fill = false);
+
+    [[nodiscard]] int width() const noexcept { return width_; }
+    [[nodiscard]] int height() const noexcept { return height_; }
+
+    [[nodiscard]] bool at(int x, int y) const noexcept {
+        return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                     static_cast<std::size_t>(x)] != 0;
+    }
+    void set(int x, int y, bool v) noexcept {
+        data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+              static_cast<std::size_t>(x)] = v ? 1 : 0;
+    }
+
+    [[nodiscard]] std::size_t count() const noexcept;
+
+private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<std::uint8_t> data_;
+};
+
+/// Rec. 601 luma of the sRGB-encoded bytes, scaled to [0, 1].
+[[nodiscard]] GrayImage to_gray(const Image& rgb);
+
+/// Bilinear sample of a gray image at a subpixel position (clamped).
+[[nodiscard]] float sample_bilinear(const GrayImage& img, double x, double y) noexcept;
+
+/// Mean RGB inside a disk of radius `r` centered at (cx, cy), clipped to
+/// the image; the readout used for well colors.
+[[nodiscard]] color::Rgb8 mean_color_in_disk(const Image& img, double cx, double cy,
+                                             double r) noexcept;
+
+}  // namespace sdl::imaging

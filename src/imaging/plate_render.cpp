@@ -1,0 +1,104 @@
+#include "imaging/plate_render.hpp"
+
+#include <cmath>
+
+#include "imaging/draw.hpp"
+#include "support/common.hpp"
+
+namespace sdl::imaging {
+
+namespace {
+
+/// Per-pixel illumination factor: linear gradient plus radial vignette.
+double illumination(const PlateScene& scene, int x, int y) noexcept {
+    const double nx = static_cast<double>(x) / scene.width - 0.5;
+    const double ny = static_cast<double>(y) / scene.height - 0.5;
+    const double gradient = 1.0 + scene.illum_gradient.x * nx + scene.illum_gradient.y * ny;
+    const double r2 = (nx * nx + ny * ny) / 0.5;  // 1.0 at frame corners
+    const double vignette = 1.0 - scene.vignette * r2;
+    return gradient * vignette;
+}
+
+std::uint8_t shade(std::uint8_t value, double factor, double noise) noexcept {
+    const double v = value * factor + noise;
+    const long q = std::lround(v);
+    return static_cast<std::uint8_t>(q < 0 ? 0 : (q > 255 ? 255 : q));
+}
+
+}  // namespace
+
+std::vector<Vec2> true_well_centers(const PlateScene& scene) {
+    const SceneGeometry& g = scene.geometry;
+    const double s = scene.marker_side_px;
+    const Vec2 ux = Vec2{1, 0}.rotated(scene.angle_rad);
+    const Vec2 uy = Vec2{0, 1}.rotated(scene.angle_rad);
+    const Vec2 origin = scene.marker_center + ux * (g.plate_offset.x * s) +
+                        uy * (g.plate_offset.y * s);
+    std::vector<Vec2> centers;
+    centers.reserve(static_cast<std::size_t>(g.well_count()));
+    for (int r = 0; r < g.rows; ++r) {
+        for (int c = 0; c < g.cols; ++c) {
+            centers.push_back(origin + uy * (r * g.spacing * s) + ux * (c * g.spacing * s));
+        }
+    }
+    return centers;
+}
+
+Image render_plate(const PlateScene& scene, std::span<const color::Rgb8> well_colors,
+                   support::Rng& rng, const std::vector<bool>* filled) {
+    const SceneGeometry& g = scene.geometry;
+    support::check(well_colors.size() == static_cast<std::size_t>(g.well_count()),
+                   "well color count must equal rows*cols");
+    support::check(filled == nullptr ||
+                       filled->size() == static_cast<std::size_t>(g.well_count()),
+                   "fill mask size must equal rows*cols");
+
+    Image img(scene.width, scene.height, scene.background);
+    const double s = scene.marker_side_px;
+    const double radius = g.well_radius * s;
+    const double pitch = g.spacing * s;
+    const std::vector<Vec2> centers = true_well_centers(scene);
+
+    // Plate body: a quadrilateral covering the well block plus a margin.
+    {
+        const Vec2 ux = Vec2{1, 0}.rotated(scene.angle_rad);
+        const Vec2 uy = Vec2{0, 1}.rotated(scene.angle_rad);
+        const double margin = pitch * 0.9;
+        const Vec2 tl = centers[0] - ux * margin - uy * margin;
+        const Vec2 br = centers[static_cast<std::size_t>(g.well_count() - 1)] + ux * margin +
+                        uy * margin;
+        const Vec2 tr = tl + ux * ((br - tl).dot(ux));
+        const Vec2 bl = tl + uy * ((br - tl).dot(uy));
+        const Vec2 corners[4] = {tl, tr, br, bl};
+        fill_quad(img, corners, scene.plate_body);
+    }
+
+    // Wells: rim ring plus interior (sample color or empty plastic).
+    for (int i = 0; i < g.well_count(); ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const bool has_sample = filled == nullptr || (*filled)[idx];
+        const Vec2 c = centers[idx];
+        fill_ring(img, c, radius, radius * (1.0 - scene.wall_thickness),
+                  has_sample ? scene.well_wall : scene.empty_rim);
+        const color::Rgb8 interior = has_sample ? well_colors[idx] : scene.empty_well;
+        fill_circle(img, c, radius * (1.0 - scene.wall_thickness), interior);
+    }
+
+    // Fiducial marker on its white card.
+    render_marker(img, MarkerDictionary::standard(), scene.marker_id, scene.marker_center,
+                  scene.marker_side_px, scene.angle_rad);
+
+    // Sensor model: illumination shading and Gaussian noise.
+    for (int y = 0; y < scene.height; ++y) {
+        for (int x = 0; x < scene.width; ++x) {
+            const double factor = illumination(scene, x, y);
+            const color::Rgb8 p = img.pixel(x, y);
+            img.set_pixel(x, y, {shade(p.r, factor, rng.normal(0.0, scene.noise_sigma)),
+                                 shade(p.g, factor, rng.normal(0.0, scene.noise_sigma)),
+                                 shade(p.b, factor, rng.normal(0.0, scene.noise_sigma))});
+        }
+    }
+    return img;
+}
+
+}  // namespace sdl::imaging

@@ -1,0 +1,149 @@
+#include "imaging/quad.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lstsq.hpp"
+#include "support/common.hpp"
+
+namespace sdl::imaging {
+
+namespace {
+
+std::size_t farthest_from(std::span<const Vec2> points, Vec2 ref) {
+    std::size_t best = 0;
+    double best_d = -1.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const double d = distance(points[i], ref);
+        if (d > best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+std::optional<Quad> extract_quad(std::span<const Vec2> boundary) {
+    if (boundary.size() < 8) return std::nullopt;
+
+    Vec2 centroid{0, 0};
+    for (const Vec2& p : boundary) centroid = centroid + p;
+    centroid = centroid * (1.0 / static_cast<double>(boundary.size()));
+
+    // Farthest-point heuristic: c0 is the extreme point from the centroid,
+    // c1 the extreme from c0 (a diagonal), c2/c3 the extremes on either
+    // side of that diagonal.
+    const Vec2 c0 = boundary[farthest_from(boundary, centroid)];
+    const Vec2 c1 = boundary[farthest_from(boundary, c0)];
+
+    const Vec2 diag = c1 - c0;
+    const double diag_len = diag.norm();
+    if (diag_len < 4.0) return std::nullopt;
+
+    double best_pos = 0.0, best_neg = 0.0;
+    Vec2 c2 = c0, c3 = c0;
+    for (const Vec2& p : boundary) {
+        const double side = diag.cross(p - c0) / diag_len;
+        if (side > best_pos) {
+            best_pos = side;
+            c2 = p;
+        } else if (side < best_neg) {
+            best_neg = side;
+            c3 = p;
+        }
+    }
+    // Both sides of the diagonal must contribute a corner.
+    if (best_pos < 2.0 || -best_neg < 2.0) return std::nullopt;
+
+    // Order clockwise around the centroid (atan2 in y-down coordinates
+    // increases clockwise on screen).
+    Quad quad{c0, c2, c1, c3};
+    Vec2 mid{0, 0};
+    for (const Vec2& p : quad) mid = mid + p;
+    mid = mid * 0.25;
+    std::sort(quad.begin(), quad.end(), [mid](Vec2 a, Vec2 b) {
+        return std::atan2(a.y - mid.y, a.x - mid.x) < std::atan2(b.y - mid.y, b.x - mid.x);
+    });
+
+    // Rotate so the corner nearest top-left (smallest x+y) comes first.
+    std::size_t start = 0;
+    double best_key = quad[0].x + quad[0].y;
+    for (std::size_t i = 1; i < 4; ++i) {
+        const double key = quad[i].x + quad[i].y;
+        if (key < best_key) {
+            best_key = key;
+            start = i;
+        }
+    }
+    std::rotate(quad.begin(), quad.begin() + static_cast<std::ptrdiff_t>(start), quad.end());
+    return quad;
+}
+
+double squareness(const Quad& q) noexcept {
+    double min_side = 1e300, max_side = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        const double s = distance(q[static_cast<std::size_t>(i)],
+                                  q[static_cast<std::size_t>((i + 1) % 4)]);
+        min_side = std::min(min_side, s);
+        max_side = std::max(max_side, s);
+    }
+    return max_side > 0.0 ? min_side / max_side : 0.0;
+}
+
+double mean_side(const Quad& q) noexcept {
+    double sum = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        sum += distance(q[static_cast<std::size_t>(i)], q[static_cast<std::size_t>((i + 1) % 4)]);
+    }
+    return sum / 4.0;
+}
+
+Homography Homography::unit_square_to(const Quad& quad) {
+    // DLT: for each correspondence (u,v) -> (x,y):
+    //   x = (h0 u + h1 v + h2) / (h6 u + h7 v + 1)
+    //   y = (h3 u + h4 v + h5) / (h6 u + h7 v + 1)
+    // giving two linear equations in h0..h7.
+    static constexpr Vec2 kUnit[4] = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+    linalg::Matrix a(8, 8);
+    linalg::Vec b(8);
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double u = kUnit[i].x;
+        const double v = kUnit[i].y;
+        const double x = quad[i].x;
+        const double y = quad[i].y;
+        const std::size_t r = 2 * i;
+        a(r, 0) = u;
+        a(r, 1) = v;
+        a(r, 2) = 1;
+        a(r, 6) = -u * x;
+        a(r, 7) = -v * x;
+        b[r] = x;
+        a(r + 1, 3) = u;
+        a(r + 1, 4) = v;
+        a(r + 1, 5) = 1;
+        a(r + 1, 6) = -u * y;
+        a(r + 1, 7) = -v * y;
+        b[r + 1] = y;
+    }
+    linalg::Vec h;
+    try {
+        h = linalg::lstsq(a, b, 1e-12);
+    } catch (const support::Error&) {
+        throw support::Error("vision", "degenerate quad for homography");
+    }
+    Homography out;
+    for (std::size_t i = 0; i < 8; ++i) out.h_[i] = h[i];
+    out.h_[8] = 1.0;
+    return out;
+}
+
+Vec2 Homography::apply(Vec2 uv) const {
+    const double w = h_[6] * uv.x + h_[7] * uv.y + h_[8];
+    support::check(std::fabs(w) > 1e-12, "homography maps point to infinity");
+    return {(h_[0] * uv.x + h_[1] * uv.y + h_[2]) / w,
+            (h_[3] * uv.x + h_[4] * uv.y + h_[5]) / w};
+}
+
+}  // namespace sdl::imaging

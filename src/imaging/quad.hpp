@@ -1,0 +1,46 @@
+// Quadrilateral corner extraction and plane homographies — the geometry
+// behind fiducial marker decoding.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+
+#include "imaging/geometry.hpp"
+
+namespace sdl::imaging {
+
+/// Corners of a convex quadrilateral, ordered clockwise in image
+/// coordinates (y-down) starting from the corner nearest the top-left.
+using Quad = std::array<Vec2, 4>;
+
+/// Extracts the four corners of an approximately quadrilateral point set
+/// (boundary pixels of a blob): the farthest-point heuristic picks
+/// extreme vertices, then corners are ordered. Returns nullopt when the
+/// set is degenerate (nearly collinear or too small).
+[[nodiscard]] std::optional<Quad> extract_quad(std::span<const Vec2> boundary);
+
+/// How square a quad is: min(side)/max(side) in [0,1]; 1 for a square.
+[[nodiscard]] double squareness(const Quad& q) noexcept;
+
+/// Mean side length.
+[[nodiscard]] double mean_side(const Quad& q) noexcept;
+
+/// Plane projective transform h: (u,v) -> (x,y), fit from 4 point
+/// correspondences with the direct linear transform.
+class Homography {
+public:
+    /// Maps the unit square corners (0,0),(1,0),(1,1),(0,1) to `quad`
+    /// (in the same clockwise order). Throws Error("vision") if the quad
+    /// is degenerate.
+    [[nodiscard]] static Homography unit_square_to(const Quad& quad);
+
+    /// Applies the transform to a point.
+    [[nodiscard]] Vec2 apply(Vec2 uv) const;
+
+private:
+    // Row-major 3x3 matrix with h22 fixed to 1.
+    std::array<double, 9> h_{1, 0, 0, 0, 1, 0, 0, 0, 1};
+};
+
+}  // namespace sdl::imaging

@@ -1,0 +1,113 @@
+#include "imaging/well_reader.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace sdl::imaging {
+
+WellReadout read_plate(const Image& frame, const WellReadParams& params) {
+    WellReadout out;
+    const SceneGeometry& g = params.geometry;
+
+    // 1. Fiducial marker.
+    const auto markers = detect_markers(frame, MarkerDictionary::standard(), params.marker);
+    const MarkerDetection* marker = nullptr;
+    for (const auto& m : markers) {
+        if (params.marker_id < 0 || m.id == static_cast<std::size_t>(params.marker_id)) {
+            if (marker == nullptr || m.side > marker->side) marker = &m;
+        }
+    }
+    if (marker == nullptr) {
+        out.error = "fiducial marker not found";
+        return out;
+    }
+    out.marker = *marker;
+
+    // 2. Approximate plate region from marker pose.
+    const double s = marker->side;
+    const Vec2 ux = Vec2{1, 0}.rotated(marker->angle);
+    const Vec2 uy = Vec2{0, 1}.rotated(marker->angle);
+    GridModel initial;
+    initial.origin = marker->center + ux * (g.plate_offset.x * s) + uy * (g.plate_offset.y * s);
+    initial.row_axis = uy * (g.spacing * s);
+    initial.col_axis = ux * (g.spacing * s);
+
+    const double pitch = g.spacing * s;
+    double min_x = 1e300, min_y = 1e300, max_x = -1e300, max_y = -1e300;
+    for (const int r : {0, g.rows - 1}) {
+        for (const int c : {0, g.cols - 1}) {
+            const Vec2 p = initial.center(r, c);
+            min_x = std::min(min_x, p.x);
+            max_x = std::max(max_x, p.x);
+            min_y = std::min(min_y, p.y);
+            max_y = std::max(max_y, p.y);
+        }
+    }
+    const double margin = params.roi_margin * pitch;
+    const Rect roi = Rect{static_cast<int>(std::floor(min_x - margin)),
+                          static_cast<int>(std::floor(min_y - margin)),
+                          static_cast<int>(std::ceil(max_x + margin)),
+                          static_cast<int>(std::ceil(max_y + margin))}
+                         .clipped(frame.width(), frame.height());
+
+    // 3. Hough circles inside the plate region.
+    const double expected_r = g.well_radius * s;
+    HoughParams hough;
+    hough.roi = roi;
+    hough.r_min = std::max(2.0, expected_r * (1.0 - params.radius_tolerance));
+    hough.r_max = expected_r * (1.0 + params.radius_tolerance);
+    hough.min_center_dist = 0.6 * pitch;
+    hough.max_circles = static_cast<std::size_t>(g.well_count()) * 2;
+    const GrayImage gray = to_gray(frame);
+    const auto circles = hough_circles(gray, hough);
+    out.hough_circles_found = circles.size();
+
+    // 4. Grid alignment: refine the marker-derived lattice with the
+    // detected circle centers; false positives are rejected by the inlier
+    // gate, false negatives are filled in by the fitted model.
+    std::vector<Vec2> centers_detected;
+    centers_detected.reserve(circles.size());
+    for (const auto& c : circles) centers_detected.push_back(c.center);
+
+    const GridFit fit = fit_grid(centers_detected, initial, g.rows, g.cols,
+                                 params.inlier_radius * pitch);
+    out.grid_residual_px = fit.mean_residual;
+
+    // Count distinct lattice nodes with direct circle support.
+    std::vector<bool> supported(static_cast<std::size_t>(g.well_count()), false);
+    for (const Vec2& p : centers_detected) {
+        Vec2 rc;
+        try {
+            rc = fit.model.to_grid(p);
+        } catch (const support::Error&) {
+            continue;
+        }
+        const int r = static_cast<int>(std::lround(rc.x));
+        const int c = static_cast<int>(std::lround(rc.y));
+        if (r < 0 || r >= g.rows || c < 0 || c >= g.cols) continue;
+        if (distance(fit.model.center(r, c), p) <= params.inlier_radius * pitch) {
+            supported[static_cast<std::size_t>(r * g.cols + c)] = true;
+        }
+    }
+    out.wells_with_circle = static_cast<std::size_t>(
+        std::count(supported.begin(), supported.end(), true));
+    out.wells_rescued = static_cast<std::size_t>(g.well_count()) - out.wells_with_circle;
+
+    // 5. Color readout at every predicted center.
+    out.centers.reserve(static_cast<std::size_t>(g.well_count()));
+    out.colors.reserve(static_cast<std::size_t>(g.well_count()));
+    const double sample_r = params.sample_radius * expected_r;
+    for (int r = 0; r < g.rows; ++r) {
+        for (int c = 0; c < g.cols; ++c) {
+            const Vec2 center = fit.model.center(r, c);
+            out.centers.push_back(center);
+            out.colors.push_back(mean_color_in_disk(frame, center.x, center.y, sample_r));
+        }
+    }
+    out.ok = true;
+    return out;
+}
+
+}  // namespace sdl::imaging

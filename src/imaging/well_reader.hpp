@@ -1,0 +1,49 @@
+// The complete §2.4 image-processing pipeline:
+//   1. detect the fiducial marker;
+//   2. derive the plate's approximate pixel boundaries from the marker's
+//      size and position;
+//   3. detect circular wells with the Hough transform inside that region;
+//   4. align a lattice to the detected circles, predicting centers for
+//      every well — including those HoughCircles missed;
+//   5. report the color at each (predicted) well center.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "imaging/fiducial.hpp"
+#include "imaging/gridfit.hpp"
+#include "imaging/hough.hpp"
+#include "imaging/image.hpp"
+#include "imaging/plate_render.hpp"
+
+namespace sdl::imaging {
+
+struct WellReadParams {
+    SceneGeometry geometry;          ///< marker-relative plate layout
+    int marker_id = -1;              ///< -1 = accept any dictionary marker
+    MarkerDetectParams marker;       ///< fiducial detection tuning
+    double roi_margin = 1.2;         ///< ROI padding around the grid, in pitches
+    double radius_tolerance = 0.45;  ///< Hough radius range around expected
+    double inlier_radius = 0.42;     ///< grid assignment gate, in pitches
+    double sample_radius = 0.55;     ///< color readout disk, in well radii
+};
+
+struct WellReadout {
+    bool ok = false;
+    std::string error;  ///< set when !ok (e.g. "marker not found")
+
+    std::vector<color::Rgb8> colors;  ///< rows*cols, row-major
+    std::vector<Vec2> centers;        ///< predicted well centers
+    MarkerDetection marker;
+
+    std::size_t hough_circles_found = 0;  ///< raw circle detections in ROI
+    std::size_t wells_with_circle = 0;    ///< lattice nodes with support
+    std::size_t wells_rescued = 0;        ///< nodes predicted by grid only
+    double grid_residual_px = 0.0;        ///< mean inlier residual
+};
+
+/// Runs the full pipeline on one camera frame.
+[[nodiscard]] WellReadout read_plate(const Image& frame, const WellReadParams& params);
+
+}  // namespace sdl::imaging

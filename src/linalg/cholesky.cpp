@@ -1,0 +1,78 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace sdl::linalg {
+
+Cholesky::Cholesky(const Matrix& a) {
+    support::check(a.rows() == a.cols(), "cholesky: matrix must be square");
+    const std::size_t n = a.rows();
+    l_ = Matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+        if (!(diag > 0.0) || !std::isfinite(diag)) {
+            throw support::Error("linalg", "matrix is not positive definite (pivot " +
+                                               std::to_string(j) + ")");
+        }
+        const double ljj = std::sqrt(diag);
+        l_(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double s = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+            l_(i, j) = s / ljj;
+        }
+    }
+}
+
+Vec Cholesky::solve_lower(const Vec& b) const {
+    const std::size_t n = size();
+    support::check(b.size() == n, "cholesky solve: size mismatch");
+    Vec y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+        y[i] = s / l_(i, i);
+    }
+    return y;
+}
+
+Vec Cholesky::solve(const Vec& b) const {
+    const std::size_t n = size();
+    Vec y = solve_lower(b);
+    // Back substitution with Lᵀ.
+    Vec x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+        x[ii] = s / l_(ii, ii);
+    }
+    return x;
+}
+
+double Cholesky::log_det() const noexcept {
+    double s = 0.0;
+    for (std::size_t i = 0; i < size(); ++i) s += std::log(l_(i, i));
+    return 2.0 * s;
+}
+
+Cholesky cholesky_with_jitter(Matrix a, double initial_jitter, int max_attempts) {
+    double jitter = initial_jitter;
+    // Scale the first jitter to the matrix magnitude so tiny and huge
+    // kernels both factor on early attempts.
+    const double scale = a.max_abs();
+    if (scale > 0.0) jitter *= scale;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        try {
+            return Cholesky(a);
+        } catch (const support::Error&) {
+            a.add_diagonal(jitter);
+            jitter *= 10.0;
+        }
+    }
+    return Cholesky(a);  // Final attempt; propagate its error if it fails.
+}
+
+}  // namespace sdl::linalg

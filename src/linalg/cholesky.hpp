@@ -1,0 +1,38 @@
+// Cholesky factorization of symmetric positive-definite matrices.
+//
+// The Gaussian-process solver factors its kernel matrix once per fit and
+// reuses the factor for solves and log-determinants (marginal likelihood).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace sdl::linalg {
+
+class Cholesky {
+public:
+    /// Factors A = L Lᵀ. Throws Error("linalg") if A is not (numerically)
+    /// positive definite; callers typically add jitter and retry.
+    explicit Cholesky(const Matrix& a);
+
+    /// Solves A x = b via forward + back substitution.
+    [[nodiscard]] Vec solve(const Vec& b) const;
+
+    /// Solves L y = b (forward substitution only).
+    [[nodiscard]] Vec solve_lower(const Vec& b) const;
+
+    /// log(det(A)) = 2 * sum(log(L_ii)); needed by GP marginal likelihood.
+    [[nodiscard]] double log_det() const noexcept;
+
+    [[nodiscard]] const Matrix& lower() const noexcept { return l_; }
+    [[nodiscard]] std::size_t size() const noexcept { return l_.rows(); }
+
+private:
+    Matrix l_;
+};
+
+/// Factors A + jitter·I, growing jitter geometrically until the
+/// factorization succeeds (at most `max_attempts` tries).
+[[nodiscard]] Cholesky cholesky_with_jitter(Matrix a, double initial_jitter = 1e-10,
+                                            int max_attempts = 8);
+
+}  // namespace sdl::linalg

@@ -1,0 +1,40 @@
+#include "linalg/lstsq.hpp"
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "support/common.hpp"
+
+namespace sdl::linalg {
+
+Vec lstsq(const Matrix& a, const Vec& b, double ridge) {
+    support::check(a.rows() == b.size(), "lstsq: row count mismatch");
+    support::check(a.rows() >= a.cols(), "lstsq: underdetermined system");
+    const Matrix at = a.transposed();
+    Matrix ata = at * a;
+    if (ridge > 0.0) ata.add_diagonal(ridge);
+    const Vec atb = at * b;
+    return cholesky_with_jitter(std::move(ata)).solve(atb);
+}
+
+Vec robust_lstsq(const Matrix& a, const Vec& b, double delta, int iterations) {
+    support::check(delta > 0.0, "robust_lstsq: delta must be positive");
+    Vec x = lstsq(a, b);
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    for (int it = 0; it < iterations; ++it) {
+        // Huber weights from current residuals.
+        Matrix wa(m, n);
+        Vec wb(m);
+        for (std::size_t i = 0; i < m; ++i) {
+            const double r = dot(a.row(i), x) - b[i];
+            const double w = std::fabs(r) <= delta ? 1.0 : std::sqrt(delta / std::fabs(r));
+            for (std::size_t j = 0; j < n; ++j) wa(i, j) = w * a(i, j);
+            wb[i] = w * b[i];
+        }
+        x = lstsq(wa, wb);
+    }
+    return x;
+}
+
+}  // namespace sdl::linalg

@@ -1,0 +1,22 @@
+// Linear least squares, with an optional robust (IRLS) variant.
+//
+// The vision pipeline fits a 2-D lattice to detected well centers; the
+// robust variant down-weights Hough false positives so a handful of bad
+// circles cannot skew the grid (the paper's §2.4 rescue step).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace sdl::linalg {
+
+/// Minimizes ||A x - b||² (+ ridge·||x||²) via the normal equations and a
+/// jittered Cholesky solve. Requires A.rows() >= A.cols().
+[[nodiscard]] Vec lstsq(const Matrix& a, const Vec& b, double ridge = 0.0);
+
+/// Iteratively reweighted least squares with a Huber weight function.
+/// `delta` is the residual scale beyond which points are down-weighted;
+/// returns the final solution after `iterations` reweighting rounds.
+[[nodiscard]] Vec robust_lstsq(const Matrix& a, const Vec& b, double delta,
+                               int iterations = 5);
+
+}  // namespace sdl::linalg

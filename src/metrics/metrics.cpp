@@ -1,0 +1,100 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/table.hpp"
+
+namespace sdl::metrics {
+
+using support::Duration;
+using support::TimePoint;
+
+SdlMetrics compute_metrics(const wei::EventLog& log, int total_colors,
+                           std::span<const TimePoint> upload_times,
+                           const MetricsConfig& config) {
+    SdlMetrics m;
+    m.total_colors = total_colors;
+    m.commands_completed = log.successful_commands();
+    m.interventions = static_cast<int>(log.interventions().size());
+
+    const TimePoint start = log.first_start();
+    const TimePoint end = log.last_end();
+    m.total_time = end - start;
+
+    // TWH: longest stretch between interventions (the whole run when the
+    // experiment never needed a human).
+    if (log.interventions().empty()) {
+        m.time_without_humans = m.total_time;
+    } else {
+        std::vector<TimePoint> breaks;
+        breaks.push_back(start);
+        for (const wei::InterventionRecord& i : log.interventions()) breaks.push_back(i.time);
+        breaks.push_back(end);
+        std::sort(breaks.begin(), breaks.end());
+        Duration longest = Duration::zero();
+        for (std::size_t i = 1; i < breaks.size(); ++i) {
+            longest = std::max(longest, breaks[i] - breaks[i - 1]);
+        }
+        m.time_without_humans = longest;
+    }
+
+    for (const std::string& module : config.synthesis_modules) {
+        m.synthesis_time += log.module_busy_time(module);
+    }
+    for (const std::string& module : config.transfer_modules) {
+        m.transfer_time += log.module_busy_time(module);
+    }
+
+    m.time_per_color = total_colors > 0 ? m.total_time / static_cast<double>(total_colors)
+                                        : Duration::zero();
+
+    if (upload_times.size() >= 2) {
+        m.mean_upload_interval = (upload_times.back() - upload_times.front()) /
+                                 static_cast<double>(upload_times.size() - 1);
+    }
+    return m;
+}
+
+SdlMetrics paper_table1_reference() {
+    SdlMetrics paper;
+    paper.time_without_humans = Duration::hours(8) + Duration::minutes(12);
+    paper.commands_completed = 387;
+    paper.synthesis_time = Duration::hours(5) + Duration::minutes(10);
+    paper.transfer_time = Duration::hours(3) + Duration::minutes(2);
+    paper.total_time = Duration::hours(8) + Duration::minutes(12);
+    paper.total_colors = 128;
+    paper.time_per_color = Duration::minutes(4);
+    paper.mean_upload_interval = Duration::minutes(3) + Duration::seconds(48);
+    return paper;
+}
+
+std::string render_metrics_table(const SdlMetrics& measured, const SdlMetrics* paper) {
+    std::vector<std::string> header{"Metric", "Measured"};
+    if (paper != nullptr) header.push_back("Paper (B=1)");
+    support::TextTable table(std::move(header));
+
+    auto row = [&](const std::string& name, const std::string& value,
+                   const std::string& reference) {
+        std::vector<std::string> cells{name, value};
+        if (paper != nullptr) cells.push_back(reference);
+        table.add_row(std::move(cells));
+    };
+
+    row("Time without humans", measured.time_without_humans.pretty(),
+        paper ? paper->time_without_humans.pretty() : "");
+    row("Completed commands without humans", std::to_string(measured.commands_completed),
+        paper ? std::to_string(paper->commands_completed) : "");
+    row("Synthesis time", measured.synthesis_time.pretty(),
+        paper ? paper->synthesis_time.pretty() : "");
+    row("Transfer time", measured.transfer_time.pretty(),
+        paper ? paper->transfer_time.pretty() : "");
+    row("Total colors mixed", std::to_string(measured.total_colors),
+        paper ? std::to_string(paper->total_colors) : "");
+    row("Time per color", measured.time_per_color.pretty(),
+        paper ? paper->time_per_color.pretty() : "");
+    row("Mean upload interval", measured.mean_upload_interval.pretty(),
+        paper ? paper->mean_upload_interval.pretty() : "");
+    return table.str();
+}
+
+}  // namespace sdl::metrics

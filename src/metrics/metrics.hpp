@@ -1,0 +1,57 @@
+// SDL benchmark metrics — the paper's §4 proposal, computed from the
+// event log:
+//
+//  * TWH  (time without human input): the longest stretch an experiment
+//    ran without human intervention.
+//  * CCWH (commands completed without human input): commands sent and
+//    successfully executed by the instruments; "a command is defined as
+//    one or more actions carried out consecutively by a single instrument
+//    without input from the control system".
+//  * Time per color: total run time / samples produced, plus the
+//    synthesis/transfer split locating the bottleneck.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/units.hpp"
+#include "wei/event_log.hpp"
+
+namespace sdl::metrics {
+
+struct MetricsConfig {
+    /// Modules whose busy time counts as synthesis (mixing).
+    std::vector<std::string> synthesis_modules{"ot2"};
+    /// Modules whose busy time counts as sample transfer.
+    std::vector<std::string> transfer_modules{"pf400", "sciclops"};
+};
+
+struct SdlMetrics {
+    support::Duration time_without_humans;
+    std::uint64_t commands_completed = 0;
+    support::Duration synthesis_time;
+    support::Duration transfer_time;
+    support::Duration total_time;
+    int total_colors = 0;
+    support::Duration time_per_color;
+    support::Duration mean_upload_interval;
+    int interventions = 0;
+};
+
+/// Derives all metrics from a finished experiment's log.
+/// `total_colors` comes from the application (samples actually produced);
+/// `upload_times` are the publication-completion timestamps (may be empty).
+[[nodiscard]] SdlMetrics compute_metrics(const wei::EventLog& log, int total_colors,
+                                         std::span<const support::TimePoint> upload_times,
+                                         const MetricsConfig& config = {});
+
+/// Renders the Table-1 layout. When `paper` is non-null its values fill a
+/// "Paper (B=1)" comparison column next to the measured ones.
+[[nodiscard]] std::string render_metrics_table(const SdlMetrics& measured,
+                                               const SdlMetrics* paper = nullptr);
+
+/// The paper's Table 1 values for B=1 (for comparison columns).
+[[nodiscard]] SdlMetrics paper_table1_reference();
+
+}  // namespace sdl::metrics

@@ -1,0 +1,79 @@
+#include "solver/baselines.hpp"
+
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace sdl::solver {
+
+RandomSolver::RandomSolver(std::size_t dims, std::uint64_t seed)
+    : dims_(dims), rng_(seed) {
+    support::check(dims >= 1, "random solver needs at least one dye");
+}
+
+std::vector<std::vector<double>> RandomSolver::ask(std::size_t n) {
+    std::vector<std::vector<double>> proposals;
+    proposals.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> ratios(dims_);
+        do {
+            for (double& r : ratios) r = rng_.uniform();
+        } while (!is_valid_proposal(ratios, dims_));
+        proposals.push_back(std::move(ratios));
+    }
+    return proposals;
+}
+
+GridSolver::GridSolver(std::size_t dims, int levels) : dims_(dims), levels_(levels) {
+    support::check(dims >= 1 && levels >= 2, "grid solver needs dims>=1, levels>=2");
+}
+
+std::vector<std::vector<double>> GridSolver::ask(std::size_t n) {
+    const auto total = static_cast<std::size_t>(
+        std::llround(std::pow(levels_, static_cast<double>(dims_))));
+    std::vector<std::vector<double>> proposals;
+    proposals.reserve(n);
+    while (proposals.size() < n) {
+        const std::size_t index = cursor_ % total;
+        ++cursor_;
+        std::size_t rest = index;
+        std::vector<double> point(dims_);
+        for (std::size_t d = 0; d < dims_; ++d) {
+            point[d] = static_cast<double>(rest % static_cast<std::size_t>(levels_)) /
+                       static_cast<double>(levels_ - 1);
+            rest /= static_cast<std::size_t>(levels_);
+        }
+        if (is_valid_proposal(point, dims_)) proposals.push_back(std::move(point));
+    }
+    return proposals;
+}
+
+OracleSolver::OracleSolver(const color::BeerLambertMixer& mixer, color::Rgb8 target,
+                           std::uint64_t seed)
+    : rng_(seed) {
+    const auto ratios = mixer.invert_target(target);
+    if (!ratios.has_value()) {
+        throw support::ConfigError("oracle solver: target " + target.str() +
+                                   " is outside the dye gamut");
+    }
+    optimum_ = *ratios;
+}
+
+std::vector<std::vector<double>> OracleSolver::ask(std::size_t n) {
+    std::vector<std::vector<double>> proposals;
+    proposals.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // The first proposal each batch is the exact optimum; the rest add
+        // a whisper of jitter so a batch occupies distinct wells.
+        std::vector<double> ratios = optimum_;
+        if (i > 0) {
+            for (double& r : ratios) {
+                r = support::clamp(r + rng_.normal(0.0, 0.005), 0.0, 1.0);
+            }
+        }
+        proposals.push_back(std::move(ratios));
+    }
+    return proposals;
+}
+
+}  // namespace sdl::solver

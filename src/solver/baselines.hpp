@@ -1,0 +1,56 @@
+// Baseline solvers: random search, systematic grid scan, and an analytic
+// oracle. The oracle exploits the fact that the color-matching problem
+// "admits to an analytic solution" (§2.5) — it always proposes the exact
+// recipe for the target, so its residual score measures the workcell's
+// noise floor (pipetting + camera), isolating measurement error from
+// optimizer error in ablation studies.
+#pragma once
+
+#include "color/mixing.hpp"
+#include "solver/solver.hpp"
+#include "support/random.hpp"
+
+namespace sdl::solver {
+
+class RandomSolver final : public SolverBase {
+public:
+    explicit RandomSolver(std::size_t dims = 4, std::uint64_t seed = 0x7A4D03);
+
+    [[nodiscard]] std::string name() const override { return "random"; }
+    [[nodiscard]] std::vector<std::vector<double>> ask(std::size_t n) override;
+
+private:
+    std::size_t dims_;
+    support::Rng rng_;
+};
+
+/// Scans a fixed lattice in index order; a deterministic exhaustive
+/// baseline for small budgets.
+class GridSolver final : public SolverBase {
+public:
+    explicit GridSolver(std::size_t dims = 4, int levels = 4);
+
+    [[nodiscard]] std::string name() const override { return "grid"; }
+    [[nodiscard]] std::vector<std::vector<double>> ask(std::size_t n) override;
+
+private:
+    std::size_t dims_;
+    int levels_;
+    std::size_t cursor_ = 0;
+};
+
+class OracleSolver final : public SolverBase {
+public:
+    /// Requires the target to be inside the mixer's gamut.
+    OracleSolver(const color::BeerLambertMixer& mixer, color::Rgb8 target,
+                 std::uint64_t seed = 0x0AC1E);
+
+    [[nodiscard]] std::string name() const override { return "oracle"; }
+    [[nodiscard]] std::vector<std::vector<double>> ask(std::size_t n) override;
+
+private:
+    std::vector<double> optimum_;
+    support::Rng rng_;
+};
+
+}  // namespace sdl::solver

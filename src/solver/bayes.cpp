@@ -1,0 +1,197 @@
+#include "solver/bayes.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "linalg/matrix.hpp"
+#include "support/common.hpp"
+
+namespace sdl::solver {
+
+namespace {
+double normal_pdf(double z) noexcept {
+    return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+double normal_cdf(double z) noexcept { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+}  // namespace
+
+double GaussianProcess::kernel(std::span<const double> a, std::span<const double> b,
+                               const Hyperparams& p) const noexcept {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        d2 += d * d;
+    }
+    return p.signal_var * std::exp(-0.5 * d2 / (p.lengthscale * p.lengthscale));
+}
+
+void GaussianProcess::factorize(const Hyperparams& p) {
+    const std::size_t n = xs_.size();
+    linalg::Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            const double v = kernel(xs_[i], xs_[j], p);
+            k(i, j) = v;
+            k(j, i) = v;
+        }
+        k(i, i) += p.noise_var;
+    }
+    chol_ = std::make_unique<linalg::Cholesky>(linalg::cholesky_with_jitter(std::move(k)));
+    alpha_ = chol_->solve(ys_std_);
+    params_ = p;
+}
+
+double GaussianProcess::log_marginal_likelihood(const Hyperparams& p) const {
+    const std::size_t n = xs_.size();
+    linalg::Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            const double v = kernel(xs_[i], xs_[j], p);
+            k(i, j) = v;
+            k(j, i) = v;
+        }
+        k(i, i) += p.noise_var;
+    }
+    const linalg::Cholesky chol = linalg::cholesky_with_jitter(std::move(k));
+    const linalg::Vec alpha = chol.solve(ys_std_);
+    const double fit_term = linalg::dot(ys_std_, alpha);
+    return -0.5 * fit_term - 0.5 * chol.log_det() -
+           0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+}
+
+void GaussianProcess::fit(std::vector<std::vector<double>> xs, std::vector<double> ys,
+                          bool optimize) {
+    support::check(xs.size() == ys.size() && !xs.empty(), "GP fit: shape mismatch");
+    xs_ = std::move(xs);
+    ys_raw_ = std::move(ys);
+
+    // Standardize targets so unit signal variance is a sensible prior.
+    double mean = 0.0;
+    for (const double y : ys_raw_) mean += y;
+    mean /= static_cast<double>(ys_raw_.size());
+    double var = 0.0;
+    for (const double y : ys_raw_) var += (y - mean) * (y - mean);
+    var /= static_cast<double>(ys_raw_.size());
+    y_mean_ = mean;
+    y_scale_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+    ys_std_.resize(ys_raw_.size());
+    for (std::size_t i = 0; i < ys_raw_.size(); ++i) {
+        ys_std_[i] = (ys_raw_[i] - y_mean_) / y_scale_;
+    }
+
+    Hyperparams best = params_;
+    if (optimize) {
+        double best_lml = -1e300;
+        for (const double lengthscale : {0.15, 0.3, 0.6, 1.2}) {
+            for (const double noise : {1e-3, 1e-2, 1e-1}) {
+                const Hyperparams p{lengthscale, noise, 1.0};
+                const double lml = log_marginal_likelihood(p);
+                if (lml > best_lml) {
+                    best_lml = lml;
+                    best = p;
+                }
+            }
+        }
+    }
+    factorize(best);
+}
+
+GaussianProcess::Prediction GaussianProcess::predict(std::span<const double> x) const {
+    support::check(fitted(), "GP predict before fit");
+    const std::size_t n = xs_.size();
+    linalg::Vec kx(n);
+    for (std::size_t i = 0; i < n; ++i) kx[i] = kernel(xs_[i], x, params_);
+
+    const double mean_std = linalg::dot(kx, alpha_);
+    const linalg::Vec v = chol_->solve_lower(kx);
+    double var_std = params_.signal_var + params_.noise_var - linalg::dot(v, v);
+    if (var_std < 1e-12) var_std = 1e-12;
+
+    return {mean_std * y_scale_ + y_mean_, var_std * y_scale_ * y_scale_};
+}
+
+// ------------------------------------------------------------ BayesSolver
+
+BayesSolver::BayesSolver(BayesConfig config) : config_(config), rng_(config.seed) {
+    support::check(config_.dims >= 1, "bayes solver needs at least one dye");
+    support::check(config_.candidates >= 8, "need a non-trivial candidate pool");
+}
+
+double BayesSolver::expected_improvement(double mean, double variance, double best_y,
+                                         double xi) noexcept {
+    const double sigma = std::sqrt(variance);
+    if (sigma < 1e-12) return 0.0;
+    const double improvement = best_y - mean - xi;
+    const double z = improvement / sigma;
+    const double ei = improvement * normal_cdf(z) + sigma * normal_pdf(z);
+    return ei > 0.0 ? ei : 0.0;
+}
+
+std::vector<double> BayesSolver::random_point() {
+    std::vector<double> x(config_.dims);
+    do {
+        for (double& v : x) v = rng_.uniform();
+    } while (!is_valid_proposal(x, config_.dims));
+    return x;
+}
+
+std::vector<std::vector<double>> BayesSolver::ask(std::size_t n) {
+    support::check(n >= 1, "ask() needs n >= 1");
+    std::vector<std::vector<double>> proposals;
+    proposals.reserve(n);
+
+    if (archive().size() < config_.warmup) {
+        for (std::size_t i = 0; i < n; ++i) proposals.push_back(random_point());
+        return proposals;
+    }
+
+    // Training set: most recent max_points observations.
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    const std::size_t start =
+        archive().size() > config_.max_points ? archive().size() - config_.max_points : 0;
+    for (std::size_t i = start; i < archive().size(); ++i) {
+        xs.push_back(archive()[i].ratios);
+        ys.push_back(archive()[i].score);
+    }
+
+    // Constant liar: after each pick, pretend the pick returned the
+    // incumbent best so the next pick explores elsewhere.
+    for (std::size_t pick = 0; pick < n; ++pick) {
+        GaussianProcess gp;
+        gp.fit(xs, ys, /*optimize=*/pick == 0);  // re-optimize once per batch
+        double best_y = ys.front();
+        for (const double y : ys) best_y = std::min(best_y, y);
+
+        std::vector<double> best_candidate = random_point();
+        double best_ei = -1.0;
+        for (std::size_t c = 0; c < config_.candidates; ++c) {
+            // Half the pool is global-uniform, half perturbs the incumbent
+            // (local refinement).
+            std::vector<double> candidate;
+            if (c % 2 == 0 || !best().has_value()) {
+                candidate = random_point();
+            } else {
+                candidate = best()->ratios;
+                for (double& v : candidate) {
+                    v = support::clamp(v + rng_.normal(0.0, 0.1), 0.0, 1.0);
+                }
+                if (!is_valid_proposal(candidate, config_.dims)) candidate = random_point();
+            }
+            const auto pred = gp.predict(candidate);
+            const double ei =
+                expected_improvement(pred.mean, pred.variance, best_y,
+                                     config_.exploration);
+            if (ei > best_ei) {
+                best_ei = ei;
+                best_candidate = std::move(candidate);
+            }
+        }
+        xs.push_back(best_candidate);
+        ys.push_back(best_y);  // the lie
+        proposals.push_back(std::move(best_candidate));
+    }
+    return proposals;
+}
+
+}  // namespace sdl::solver

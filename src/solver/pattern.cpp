@@ -1,0 +1,78 @@
+#include "solver/pattern.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+
+namespace sdl::solver {
+
+PatternSearchSolver::PatternSearchSolver(PatternConfig config)
+    : config_(config), rng_(config.seed), step_(config.initial_step) {
+    support::check(config_.dims >= 1, "pattern solver needs at least one dye");
+    support::check(config_.shrink > 0.0 && config_.shrink < 1.0,
+                   "shrink factor must be in (0, 1)");
+}
+
+std::vector<std::vector<double>> PatternSearchSolver::ask(std::size_t n) {
+    support::check(n >= 1, "ask() needs n >= 1");
+    std::vector<std::vector<double>> proposals;
+    proposals.reserve(n);
+
+    if (!has_center_) {
+        // Cold start: random points; the best becomes the first center.
+        for (std::size_t i = 0; i < n; ++i) {
+            std::vector<double> p(config_.dims);
+            do {
+                for (double& v : p) v = rng_.uniform();
+            } while (!is_valid_proposal(p, config_.dims));
+            proposals.push_back(std::move(p));
+        }
+        return proposals;
+    }
+
+    // Compass probes around the center, in a seeded-random axis order so
+    // truncated batches (n < 2*dims) still cover all axes over time.
+    const auto order = rng_.permutation(2 * config_.dims);
+    for (const std::size_t probe : order) {
+        if (proposals.size() == n) break;
+        const std::size_t axis = probe / 2;
+        const double direction = (probe % 2 == 0) ? 1.0 : -1.0;
+        std::vector<double> p = center_;
+        p[axis] = support::clamp(p[axis] + direction * step_, 0.0, 1.0);
+        if (!is_valid_proposal(p, config_.dims)) continue;
+        proposals.push_back(std::move(p));
+    }
+    // Batch larger than the compass: pad with random restarts (global
+    // exploration keeps the search from stalling in a local basin).
+    while (proposals.size() < n) {
+        std::vector<double> p(config_.dims);
+        do {
+            for (double& v : p) v = rng_.uniform();
+        } while (!is_valid_proposal(p, config_.dims));
+        proposals.push_back(std::move(p));
+    }
+    probes_outstanding_ = true;
+    return proposals;
+}
+
+void PatternSearchSolver::tell(std::span<const Observation> observations) {
+    SolverBase::tell(observations);
+    bool improved = false;
+    for (const Observation& obs : observations) {
+        if (obs.score < center_score_) {
+            center_ = obs.ratios;
+            center_score_ = obs.score;
+            improved = true;
+        }
+    }
+    if (!has_center_) {
+        has_center_ = !archive().empty();
+        return;
+    }
+    if (probes_outstanding_ && !improved) {
+        step_ = std::max(config_.min_step, step_ * config_.shrink);
+    }
+    probes_outstanding_ = false;
+}
+
+}  // namespace sdl::solver

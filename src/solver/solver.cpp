@@ -1,0 +1,25 @@
+#include "solver/solver.hpp"
+
+namespace sdl::solver {
+
+void SolverBase::tell(std::span<const Observation> observations) {
+    previous_generation_.assign(observations.begin(), observations.end());
+    for (const Observation& obs : observations) {
+        archive_.push_back(obs);
+        if (!best_.has_value() || obs.score < best_->score) best_ = obs;
+    }
+}
+
+std::optional<Observation> SolverBase::best() const { return best_; }
+
+bool is_valid_proposal(std::span<const double> ratios, std::size_t dims) {
+    if (ratios.size() != dims) return false;
+    double sum = 0.0;
+    for (const double r : ratios) {
+        if (r < 0.0 || r > 1.0) return false;
+        sum += r;
+    }
+    return sum > 1e-6;
+}
+
+}  // namespace sdl::solver

@@ -1,0 +1,105 @@
+// Bounded multi-producer / multi-consumer channel.
+//
+// This is the message-passing primitive behind the threaded WEI transport:
+// the workflow engine sends ActionRequests into a module's inbox channel
+// and the module's device thread replies on a response channel — data
+// moves between threads by cooperative send/receive operations rather
+// than shared mutable state (the MPI model, applied in-process).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace sdl::support {
+
+template <typename T>
+class Channel {
+public:
+    /// capacity == 0 means unbounded.
+    explicit Channel(std::size_t capacity = 0) : capacity_(capacity) {}
+
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+
+    /// Blocking send. Returns false if the channel was closed.
+    bool send(T value) {
+        std::unique_lock lock(mutex_);
+        not_full_.wait(lock, [this] {
+            return closed_ || capacity_ == 0 || queue_.size() < capacity_;
+        });
+        if (closed_) return false;
+        queue_.push_back(std::move(value));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Non-blocking send; fails if full or closed.
+    bool try_send(T value) {
+        {
+            std::lock_guard lock(mutex_);
+            if (closed_ || (capacity_ != 0 && queue_.size() >= capacity_)) {
+                return false;
+            }
+            queue_.push_back(std::move(value));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocking receive. Empty optional means closed-and-drained.
+    std::optional<T> receive() {
+        std::unique_lock lock(mutex_);
+        not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+        if (queue_.empty()) return std::nullopt;
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /// Non-blocking receive.
+    std::optional<T> try_receive() {
+        std::unique_lock lock(mutex_);
+        if (queue_.empty()) return std::nullopt;
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /// Closes the channel: senders fail, receivers drain then get nullopt.
+    void close() {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const {
+        std::lock_guard lock(mutex_);
+        return closed_;
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard lock(mutex_);
+        return queue_.size();
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> queue_;
+    std::size_t capacity_;
+    bool closed_ = false;
+};
+
+}  // namespace sdl::support

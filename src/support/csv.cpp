@@ -1,0 +1,58 @@
+#include "support/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/common.hpp"
+
+namespace sdl::support {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : width_(header.size()) {
+    check(!header.empty(), "CSV header must be non-empty");
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (i > 0) out_ += ',';
+        out_ += quote(header[i]);
+    }
+    out_ += '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+    check(cells.size() == width_, "CSV row width mismatch");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) out_ += ',';
+        out_ += quote(cells[i]);
+    }
+    out_ += '\n';
+    ++n_rows_;
+}
+
+void CsvWriter::add_row(const std::vector<double>& cells) {
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (const double c : cells) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", c);
+        text.emplace_back(buf);
+    }
+    add_row(text);
+}
+
+void CsvWriter::save(const std::string& path) const {
+    std::ofstream file(path, std::ios::binary);
+    if (!file) throw Error("io", "cannot open '" + path + "' for writing");
+    file << out_;
+    if (!file) throw Error("io", "failed writing '" + path + "'");
+}
+
+std::string CsvWriter::quote(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (const char c : cell) {
+        if (c == '"') out += "\"\"";
+        else out.push_back(c);
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace sdl::support

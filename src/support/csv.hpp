@@ -1,0 +1,37 @@
+// Minimal CSV writer for benchmark series exports (Figure 4 data etc.).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sdl::support {
+
+class CsvWriter {
+public:
+    /// Sets the header row; must be called before any data rows.
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /// Appends one row; must match the header width.
+    void add_row(const std::vector<std::string>& cells);
+
+    /// Convenience for numeric rows.
+    void add_row(const std::vector<double>& cells);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return n_rows_; }
+
+    /// Full document text.
+    [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+    /// Writes the document to `path`; throws Error("io") on failure.
+    void save(const std::string& path) const;
+
+    /// Quotes a cell if it contains separators/quotes/newlines.
+    [[nodiscard]] static std::string quote(const std::string& cell);
+
+private:
+    std::string out_;
+    std::size_t width_;
+    std::size_t n_rows_ = 0;
+};
+
+}  // namespace sdl::support

@@ -1,0 +1,70 @@
+// Small descriptive-statistics helpers for the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace sdl::support {
+
+/// Welford online mean/variance accumulator (numerically stable).
+class OnlineStats {
+public:
+    void add(double x) noexcept {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = n_ == 1 ? x : std::min(min_, x);
+        max_ = n_ == 1 ? x : std::max(max_, x);
+    }
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    [[nodiscard]] double variance() const noexcept {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+    [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+[[nodiscard]] inline double mean(std::span<const double> xs) noexcept {
+    if (xs.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+[[nodiscard]] inline double stddev(std::span<const double> xs) noexcept {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+/// q in [0,1]; linear interpolation between order statistics.
+[[nodiscard]] inline double percentile(std::vector<double> xs, double q) {
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+[[nodiscard]] inline double median(std::vector<double> xs) {
+    return percentile(std::move(xs), 0.5);
+}
+
+}  // namespace sdl::support

@@ -1,0 +1,74 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/common.hpp"
+
+namespace sdl::support {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+    check(!header_.empty(), "table header must be non-empty");
+    alignment_.assign(header_.size(), Align::Left);
+}
+
+void TextTable::set_alignment(std::vector<Align> alignment) {
+    check(alignment.size() == header_.size(), "alignment width mismatch");
+    alignment_ = std::move(alignment);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    check(cells.size() == header_.size(), "table row width mismatch");
+    rows_.push_back(Row{std::move(cells), pending_rule_});
+    pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+std::size_t TextTable::rows() const noexcept { return rows_.size(); }
+
+std::string TextTable::str() const {
+    const std::size_t n_cols = header_.size();
+    std::vector<std::size_t> widths(n_cols);
+    for (std::size_t c = 0; c < n_cols; ++c) widths[c] = header_[c].size();
+    for (const Row& row : rows_) {
+        for (std::size_t c = 0; c < n_cols; ++c) {
+            widths[c] = std::max(widths[c], row.cells[c].size());
+        }
+    }
+
+    auto render_cells = [&](const std::vector<std::string>& cells, std::string& out) {
+        for (std::size_t c = 0; c < n_cols; ++c) {
+            if (c > 0) out += " | ";
+            const std::size_t padding = widths[c] - cells[c].size();
+            if (alignment_[c] == Align::Right) out.append(padding, ' ');
+            out += cells[c];
+            if (alignment_[c] == Align::Left && c + 1 < n_cols) out.append(padding, ' ');
+        }
+        out += '\n';
+    };
+    auto render_rule = [&](std::string& out) {
+        for (std::size_t c = 0; c < n_cols; ++c) {
+            if (c > 0) out += "-+-";
+            out.append(widths[c], '-');
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    render_cells(header_, out);
+    render_rule(out);
+    for (const Row& row : rows_) {
+        if (row.rule_before) render_rule(out);
+        render_cells(row.cells, out);
+    }
+    return out;
+}
+
+std::string fmt_double(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+}  // namespace sdl::support

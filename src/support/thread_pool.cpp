@@ -1,0 +1,86 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace sdl::support {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+    if (n_threads == 0) {
+        n_threads = std::thread::hardware_concurrency();
+        if (n_threads == 0) n_threads = 1;
+    }
+    workers_.reserve(n_threads);
+    for (std::size_t i = 0; i < n_threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+        if (w.joinable()) w.join();
+    }
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stopping_) return;
+                continue;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    const std::size_t n_workers = std::min(n, size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto drain = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n || failed.load(std::memory_order_relaxed)) return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(n_workers > 0 ? n_workers - 1 : 0);
+    for (std::size_t w = 1; w < n_workers; ++w) {
+        futures.push_back(submit(drain));
+    }
+    drain();  // The calling thread participates, so the pool never deadlocks
+              // on nested parallel_for.
+    for (auto& f : futures) f.get();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& global_pool() {
+    static ThreadPool pool;
+    return pool;
+}
+
+}  // namespace sdl::support

@@ -1,0 +1,85 @@
+// Fixed-size thread pool with futures and a parallel_for helper.
+//
+// Used for the embarrassingly parallel parts of the benchmark harness:
+// running the seven Figure-4 experiments concurrently, sweeping solver
+// seeds, and batch-rendering synthetic camera frames. Work distribution
+// for parallel_for is block-cyclic to keep load balanced when item costs
+// vary (the OpenMP "schedule(static, chunk)" idiom).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdl::support {
+
+class ThreadPool {
+public:
+    /// Creates `n_threads` workers; 0 means hardware_concurrency (min 1).
+    explicit ThreadPool(std::size_t n_threads = 0);
+
+    /// Joins all workers; pending tasks are completed first.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueue a task; the returned future carries its result/exception.
+    template <typename F>
+    [[nodiscard]] auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard lock(mutex_);
+            if (stopping_) {
+                throw std::runtime_error("ThreadPool: submit after shutdown");
+            }
+            queue_.emplace_back([task]() mutable { (*task)(); });
+        }
+        cv_.notify_one();
+        return result;
+    }
+
+    /// Runs fn(i) for i in [0, n), partitioned across the pool, and blocks
+    /// until all iterations finish. Exceptions from any iteration are
+    /// rethrown (first one wins).
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+    /// Maps fn(i) over [0, n) and collects results in order.
+    template <typename F>
+    auto parallel_map(std::size_t n, F&& fn)
+        -> std::vector<std::invoke_result_t<F, std::size_t>> {
+        using R = std::invoke_result_t<F, std::size_t>;
+        std::vector<std::future<R>> futures;
+        futures.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            futures.push_back(submit([&fn, i] { return fn(i); }));
+        }
+        std::vector<R> out;
+        out.reserve(n);
+        for (auto& f : futures) out.push_back(f.get());
+        return out;
+    }
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+/// Process-wide pool for benchmark harnesses (lazily constructed).
+ThreadPool& global_pool();
+
+}  // namespace sdl::support

@@ -1,0 +1,36 @@
+#include "support/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sdl::support {
+
+std::string Duration::pretty() const {
+    char buf[64];
+    const double s = seconds_;
+    const double abs_s = std::fabs(s);
+    if (abs_s >= 3600.0) {
+        const int h = static_cast<int>(s / 3600.0);
+        const int m = static_cast<int>(std::lround((s - h * 3600.0) / 60.0));
+        std::snprintf(buf, sizeof(buf), "%d h %d m", h, m);
+    } else if (abs_s >= 60.0) {
+        const int m = static_cast<int>(s / 60.0);
+        const int sec = static_cast<int>(std::lround(s - m * 60.0));
+        std::snprintf(buf, sizeof(buf), "%d m %d s", m, sec);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1f s", s);
+    }
+    return buf;
+}
+
+std::string Volume::pretty() const {
+    char buf[64];
+    if (std::fabs(ul_) >= 1000.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f mL", ul_ / 1000.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1f uL", ul_);
+    }
+    return buf;
+}
+
+}  // namespace sdl::support

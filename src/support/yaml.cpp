@@ -1,0 +1,496 @@
+#include "support/yaml.hpp"
+
+#include <charconv>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace sdl::support::yaml {
+
+namespace {
+
+using json::Array;
+using json::Object;
+using json::Value;
+
+struct Line {
+    std::size_t indent = 0;
+    std::string text;  // content after indentation, comments stripped
+    std::size_t number = 0;
+};
+
+[[noreturn]] void fail(const std::string& message, std::size_t line) {
+    throw ParseError("yaml: " + message, line, 1);
+}
+
+/// Strips a trailing comment that is not inside quotes.
+std::string strip_comment(std::string_view s) {
+    char quote = '\0';
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (quote != '\0') {
+            if (c == quote) quote = '\0';
+        } else if (c == '\'' || c == '"') {
+            quote = c;
+        } else if (c == '#' && (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+            s = s.substr(0, i);
+            break;
+        }
+    }
+    // Trim trailing whitespace.
+    std::size_t end = s.size();
+    while (end > 0 && (s[end - 1] == ' ' || s[end - 1] == '\t' || s[end - 1] == '\r')) {
+        --end;
+    }
+    return std::string(s.substr(0, end));
+}
+
+std::vector<Line> split_lines(std::string_view text) {
+    std::vector<Line> lines;
+    std::size_t lineno = 0;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t nl = text.find('\n', start);
+        if (nl == std::string_view::npos) nl = text.size();
+        ++lineno;
+        std::string_view raw = text.substr(start, nl - start);
+        start = nl + 1;
+
+        std::size_t indent = 0;
+        while (indent < raw.size() && raw[indent] == ' ') ++indent;
+        if (indent < raw.size() && raw[indent] == '\t') {
+            fail("tab indentation is not supported", lineno);
+        }
+        std::string content = strip_comment(raw.substr(indent));
+        if (content.empty()) continue;
+        if (content == "---") continue;  // document start marker
+        lines.push_back(Line{indent, std::move(content), lineno});
+        if (nl == text.size()) break;
+    }
+    return lines;
+}
+
+// ------------------------------------------------------------ scalars
+
+bool looks_like_number(std::string_view s) {
+    if (s.empty()) return false;
+    std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+    if (i >= s.size()) return false;
+    bool digit = false;
+    for (; i < s.size(); ++i) {
+        const char c = s[i];
+        if (c >= '0' && c <= '9') {
+            digit = true;
+        } else if (c != '.' && c != 'e' && c != 'E' && c != '+' && c != '-') {
+            return false;
+        }
+    }
+    return digit;
+}
+
+Value parse_plain_scalar(std::string_view s, std::size_t lineno) {
+    if (s.empty() || s == "~" || s == "null" || s == "Null" || s == "NULL") {
+        return Value(nullptr);
+    }
+    if (s == "true" || s == "True" || s == "TRUE") return Value(true);
+    if (s == "false" || s == "False" || s == "FALSE") return Value(false);
+    if (looks_like_number(s)) {
+        // std::from_chars rejects a leading '+', which YAML allows.
+        const std::string_view num = s.front() == '+' ? s.substr(1) : s;
+        const bool floating = num.find_first_of(".eE") != std::string_view::npos;
+        if (!floating) {
+            std::int64_t i = 0;
+            const auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(), i);
+            if (ec == std::errc() && ptr == num.data() + num.size()) return Value(i);
+        }
+        double d = 0.0;
+        const auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(), d);
+        if (ec == std::errc() && ptr == num.data() + num.size()) return Value(d);
+    }
+    if (s.front() == '&' || s.front() == '*' || s.front() == '!') {
+        fail("anchors, aliases and tags are not supported", lineno);
+    }
+    if (s.front() == '|' || s.front() == '>') {
+        fail("block scalars are not supported", lineno);
+    }
+    return Value(std::string(s));
+}
+
+/// Parses a possibly-quoted scalar or flow collection. `pos` advances past
+/// the parsed construct.
+Value parse_flow_value(std::string_view s, std::size_t& pos, std::size_t lineno);
+
+void skip_spaces(std::string_view s, std::size_t& pos) {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
+}
+
+std::string parse_quoted(std::string_view s, std::size_t& pos, std::size_t lineno) {
+    const char quote = s[pos++];
+    std::string out;
+    while (pos < s.size()) {
+        const char c = s[pos++];
+        if (c == quote) {
+            if (quote == '\'' && pos < s.size() && s[pos] == '\'') {
+                out.push_back('\'');  // '' escape inside single quotes
+                ++pos;
+                continue;
+            }
+            return out;
+        }
+        if (quote == '"' && c == '\\' && pos < s.size()) {
+            const char esc = s[pos++];
+            switch (esc) {
+                case 'n': out.push_back('\n'); break;
+                case 't': out.push_back('\t'); break;
+                case 'r': out.push_back('\r'); break;
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                default:
+                    out.push_back('\\');
+                    out.push_back(esc);
+            }
+            continue;
+        }
+        out.push_back(c);
+    }
+    fail("unterminated quoted string", lineno);
+}
+
+Value parse_flow_sequence(std::string_view s, std::size_t& pos, std::size_t lineno) {
+    ++pos;  // consume '['
+    Array arr;
+    skip_spaces(s, pos);
+    if (pos < s.size() && s[pos] == ']') {
+        ++pos;
+        return Value(std::move(arr));
+    }
+    for (;;) {
+        skip_spaces(s, pos);
+        arr.push_back(parse_flow_value(s, pos, lineno));
+        skip_spaces(s, pos);
+        if (pos >= s.size()) fail("unterminated flow sequence", lineno);
+        if (s[pos] == ',') {
+            ++pos;
+            continue;
+        }
+        if (s[pos] == ']') {
+            ++pos;
+            return Value(std::move(arr));
+        }
+        fail("expected ',' or ']' in flow sequence", lineno);
+    }
+}
+
+Value parse_flow_mapping(std::string_view s, std::size_t& pos, std::size_t lineno) {
+    ++pos;  // consume '{'
+    Object obj;
+    skip_spaces(s, pos);
+    if (pos < s.size() && s[pos] == '}') {
+        ++pos;
+        return Value(std::move(obj));
+    }
+    for (;;) {
+        skip_spaces(s, pos);
+        std::string key;
+        if (pos < s.size() && (s[pos] == '"' || s[pos] == '\'')) {
+            key = parse_quoted(s, pos, lineno);
+        } else {
+            const std::size_t start = pos;
+            while (pos < s.size() && s[pos] != ':' && s[pos] != ',' && s[pos] != '}') ++pos;
+            std::size_t end = pos;
+            while (end > start && s[end - 1] == ' ') --end;
+            key = std::string(s.substr(start, end - start));
+        }
+        skip_spaces(s, pos);
+        if (pos >= s.size() || s[pos] != ':') fail("expected ':' in flow mapping", lineno);
+        ++pos;
+        skip_spaces(s, pos);
+        obj.set(std::move(key), parse_flow_value(s, pos, lineno));
+        skip_spaces(s, pos);
+        if (pos >= s.size()) fail("unterminated flow mapping", lineno);
+        if (s[pos] == ',') {
+            ++pos;
+            continue;
+        }
+        if (s[pos] == '}') {
+            ++pos;
+            return Value(std::move(obj));
+        }
+        fail("expected ',' or '}' in flow mapping", lineno);
+    }
+}
+
+Value parse_flow_value(std::string_view s, std::size_t& pos, std::size_t lineno) {
+    skip_spaces(s, pos);
+    if (pos >= s.size()) return Value(nullptr);
+    const char c = s[pos];
+    if (c == '[') return parse_flow_sequence(s, pos, lineno);
+    if (c == '{') return parse_flow_mapping(s, pos, lineno);
+    if (c == '"' || c == '\'') return Value(parse_quoted(s, pos, lineno));
+    const std::size_t start = pos;
+    while (pos < s.size() && s[pos] != ',' && s[pos] != ']' && s[pos] != '}') ++pos;
+    std::size_t end = pos;
+    while (end > start && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+    return parse_plain_scalar(s.substr(start, end - start), lineno);
+}
+
+/// Parses a complete scalar-or-flow value occupying the rest of a line.
+Value parse_inline_value(std::string_view s, std::size_t lineno) {
+    std::size_t pos = 0;
+    skip_spaces(s, pos);
+    if (pos >= s.size()) return Value(nullptr);
+    const char c = s[pos];
+    if (c == '[' || c == '{' || c == '"' || c == '\'') {
+        Value v = parse_flow_value(s, pos, lineno);
+        skip_spaces(s, pos);
+        if (pos != s.size()) fail("trailing characters after value", lineno);
+        return v;
+    }
+    return parse_plain_scalar(s.substr(pos), lineno);
+}
+
+// ------------------------------------------------------------ block parse
+
+/// Finds the position of the key/value separating colon at the top level
+/// of `s` (outside quotes and flow brackets). npos when absent.
+std::size_t find_mapping_colon(std::string_view s) {
+    char quote = '\0';
+    int bracket_depth = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (quote != '\0') {
+            if (c == quote) quote = '\0';
+        } else if (c == '\'' || c == '"') {
+            quote = c;
+        } else if (c == '[' || c == '{') {
+            ++bracket_depth;
+        } else if (c == ']' || c == '}') {
+            --bracket_depth;
+        } else if (c == ':' && bracket_depth == 0) {
+            if (i + 1 == s.size() || s[i + 1] == ' ') return i;
+        }
+    }
+    return std::string_view::npos;
+}
+
+class BlockParser {
+public:
+    explicit BlockParser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+    Value parse_document() {
+        if (lines_.empty()) return Value(nullptr);
+        Value v = parse_node(lines_[0].indent);
+        if (pos_ != lines_.size()) {
+            fail("bad indentation (content outside of document structure)",
+                 lines_[pos_].number);
+        }
+        return v;
+    }
+
+private:
+    [[nodiscard]] bool at_end() const noexcept { return pos_ >= lines_.size(); }
+    [[nodiscard]] const Line& current() const { return lines_[pos_]; }
+
+    static bool starts_sequence_item(const Line& line) noexcept {
+        return line.text == "-" || line.text.rfind("- ", 0) == 0;
+    }
+
+    Value parse_node(std::size_t indent) {
+        if (at_end()) return Value(nullptr);
+        if (current().indent != indent) {
+            fail("bad indentation", current().number);
+        }
+        if (starts_sequence_item(current())) return parse_sequence(indent);
+        return parse_mapping(indent);
+    }
+
+    Value parse_sequence(std::size_t indent) {
+        Array arr;
+        while (!at_end() && current().indent == indent && starts_sequence_item(current())) {
+            Line& line = lines_[pos_];
+            if (line.text == "-") {
+                // Item entirely on following deeper-indented lines.
+                ++pos_;
+                if (!at_end() && current().indent > indent) {
+                    arr.push_back(parse_node(current().indent));
+                } else {
+                    arr.emplace_back(nullptr);
+                }
+                continue;
+            }
+            // "- <rest>": rewrite this line as <rest> at a deeper virtual
+            // indent, then parse it (covers "- scalar" and "- key: value"
+            // inline mapping starts uniformly).
+            const std::size_t dash_offset = 2;
+            line.indent = indent + dash_offset;
+            line.text = line.text.substr(dash_offset);
+            if (find_mapping_colon(line.text) != std::string_view::npos ||
+                starts_sequence_item(line)) {
+                arr.push_back(parse_node(line.indent));
+            } else {
+                arr.push_back(parse_inline_value(line.text, line.number));
+                ++pos_;
+            }
+        }
+        return Value(std::move(arr));
+    }
+
+    Value parse_mapping(std::size_t indent) {
+        Object obj;
+        while (!at_end() && current().indent == indent && !starts_sequence_item(current())) {
+            const Line& line = current();
+            const std::size_t colon = find_mapping_colon(line.text);
+            if (colon == std::string_view::npos) {
+                fail("expected 'key: value' mapping entry", line.number);
+            }
+            std::string key;
+            {
+                std::string_view key_part = std::string_view(line.text).substr(0, colon);
+                std::size_t kpos = 0;
+                skip_spaces(key_part, kpos);
+                if (kpos < key_part.size() &&
+                    (key_part[kpos] == '"' || key_part[kpos] == '\'')) {
+                    key = parse_quoted(key_part, kpos, line.number);
+                } else {
+                    std::size_t end = key_part.size();
+                    while (end > kpos && key_part[end - 1] == ' ') --end;
+                    key = std::string(key_part.substr(kpos, end - kpos));
+                }
+            }
+            if (key.empty()) fail("empty mapping key", line.number);
+            if (obj.contains(key)) fail("duplicate mapping key '" + key + "'", line.number);
+
+            std::string_view rest = std::string_view(line.text).substr(colon + 1);
+            std::size_t rpos = 0;
+            skip_spaces(rest, rpos);
+            if (rpos < rest.size()) {
+                obj.set(std::move(key), parse_inline_value(rest.substr(rpos), line.number));
+                ++pos_;
+            } else {
+                // Value is a nested block (or null).
+                ++pos_;
+                if (!at_end() && current().indent > indent) {
+                    obj.set(std::move(key), parse_node(current().indent));
+                } else if (!at_end() && current().indent == indent &&
+                           starts_sequence_item(current())) {
+                    // Sequences are commonly written at the same indent as
+                    // their key; accept that widespread style.
+                    obj.set(std::move(key), parse_sequence(indent));
+                } else {
+                    obj.set(std::move(key), Value(nullptr));
+                }
+            }
+        }
+        return Value(std::move(obj));
+    }
+
+    std::vector<Line> lines_;
+    std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------ dumper
+
+bool scalar_needs_quotes(const std::string& s) {
+    if (s.empty()) return true;
+    if (s == "true" || s == "false" || s == "null" || s == "~") return true;
+    if (looks_like_number(s)) return true;
+    if (s.front() == ' ' || s.back() == ' ') return true;
+    return s.find_first_of(":#{}[],&*!|>'\"\n") != std::string::npos;
+}
+
+void dump_scalar(std::string& out, const Value& v) {
+    if (v.is_null()) {
+        out += "null";
+    } else if (v.is_bool()) {
+        out += v.as_bool() ? "true" : "false";
+    } else if (v.is_int()) {
+        out += std::to_string(v.as_int());
+    } else if (v.is_double()) {
+        // Reuse JSON's number formatting by serializing a bare value.
+        out += Value(v.as_double()).dump();
+    } else {
+        const std::string& s = v.as_string();
+        out += scalar_needs_quotes(s) ? json::escape(s) : s;
+    }
+}
+
+void dump_node(std::string& out, const Value& v, std::size_t indent) {
+    const std::string pad(indent, ' ');
+    if (v.is_object()) {
+        for (const auto& [key, value] : v.as_object()) {
+            out += pad;
+            out += scalar_needs_quotes(key) ? json::escape(key) : key;
+            out += ':';
+            if (value.is_object() || value.is_array()) {
+                if (value.size() == 0) {
+                    out += value.is_object() ? " {}\n" : " []\n";
+                } else {
+                    out += '\n';
+                    dump_node(out, value, indent + 2);
+                }
+            } else {
+                out += ' ';
+                dump_scalar(out, value);
+                out += '\n';
+            }
+        }
+    } else if (v.is_array()) {
+        for (const Value& item : v.as_array()) {
+            out += pad;
+            out += "- ";
+            if (item.is_object() || item.is_array()) {
+                if (item.size() == 0) {
+                    out += item.is_object() ? "{}\n" : "[]\n";
+                } else if (item.is_object()) {
+                    // First key on the dash line, rest indented below.
+                    bool first = true;
+                    for (const auto& [key, value] : item.as_object()) {
+                        if (!first) {
+                            out += pad;
+                            out += "  ";
+                        }
+                        first = false;
+                        out += scalar_needs_quotes(key) ? json::escape(key) : key;
+                        out += ':';
+                        if (value.is_object() || value.is_array()) {
+                            if (value.size() == 0) {
+                                out += value.is_object() ? " {}\n" : " []\n";
+                            } else {
+                                out += '\n';
+                                dump_node(out, value, indent + 4);
+                            }
+                        } else {
+                            out += ' ';
+                            dump_scalar(out, value);
+                            out += '\n';
+                        }
+                    }
+                } else {
+                    out += '\n';
+                    dump_node(out, item, indent + 2);
+                }
+            } else {
+                dump_scalar(out, item);
+                out += '\n';
+            }
+        }
+    } else {
+        out += pad;
+        dump_scalar(out, v);
+        out += '\n';
+    }
+}
+
+}  // namespace
+
+json::Value parse(std::string_view text) {
+    return BlockParser(split_lines(text)).parse_document();
+}
+
+std::string dump(const json::Value& value) {
+    std::string out;
+    dump_node(out, value, 0);
+    return out;
+}
+
+}  // namespace sdl::support::yaml

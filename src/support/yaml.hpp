@@ -1,0 +1,33 @@
+// YAML-subset parser.
+//
+// The paper's WEI framework specifies workcells and workflows in a
+// declarative YAML notation. sdlbench ships no external dependencies, so
+// this module implements the subset those files need, parsing into the
+// same json::Value document model used everywhere else:
+//
+//   * block mappings and block sequences nested by indentation
+//   * "- " sequence items, including inline "- key: value" mapping starts
+//   * flow-style [a, b] sequences and {k: v} mappings
+//   * plain / single-quoted / double-quoted scalars
+//   * ints, floats, booleans (true/false), null (~ / null / empty)
+//   * '#' comments (outside quotes) and blank lines
+//
+// Anchors, aliases, multi-line block scalars, tags and multi-document
+// streams are intentionally unsupported and raise ParseError.
+#pragma once
+
+#include <string_view>
+
+#include "support/json.hpp"
+
+namespace sdl::support::yaml {
+
+/// Parses one YAML document into a json::Value.
+/// Throws ParseError with line/column information on malformed input.
+[[nodiscard]] json::Value parse(std::string_view text);
+
+/// Serializes a json::Value as block-style YAML (inverse of parse for the
+/// supported subset). Used to write workcell/workflow files in examples.
+[[nodiscard]] std::string dump(const json::Value& value);
+
+}  // namespace sdl::support::yaml

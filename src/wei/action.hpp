@@ -1,0 +1,68 @@
+// Action protocol: the messages exchanged between the workflow engine and
+// instrument modules.
+//
+// In the paper's WEI framework, "workflow steps are translated into
+// commands sent to computers connected to devices, which then call driver
+// functions specific to their attached device". ActionRequest is that
+// command; ActionResult is the device's report back to the control system.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/json.hpp"
+#include "support/units.hpp"
+
+namespace sdl::wei {
+
+/// One command addressed to a module. `args` carries action-specific
+/// parameters as a JSON object (mirroring WEI's YAML/JSON payloads).
+struct ActionRequest {
+    std::string module;
+    std::string action;
+    support::json::Value args = support::json::Value::object();
+    /// Monotone id assigned by the engine; lets logs correlate retries.
+    std::uint64_t command_id = 0;
+};
+
+enum class ActionStatus {
+    Succeeded,
+    Failed,     ///< device executed but reported an error
+    Rejected,   ///< command lost/garbled before execution (the paper's
+                ///< dominant failure mode: "reception and processing")
+};
+
+[[nodiscard]] constexpr const char* to_string(ActionStatus s) noexcept {
+    switch (s) {
+        case ActionStatus::Succeeded: return "succeeded";
+        case ActionStatus::Failed: return "failed";
+        case ActionStatus::Rejected: return "rejected";
+    }
+    return "?";
+}
+
+/// A module's report for one command.
+struct ActionResult {
+    ActionStatus status = ActionStatus::Succeeded;
+    std::string error;  ///< empty on success
+    support::json::Value data = support::json::Value::object();
+    /// Modeled execution time (virtual time in the DES transport).
+    support::Duration duration = support::Duration::zero();
+
+    [[nodiscard]] bool ok() const noexcept { return status == ActionStatus::Succeeded; }
+
+    [[nodiscard]] static ActionResult success(support::json::Value data =
+                                                  support::json::Value::object()) {
+        ActionResult r;
+        r.data = std::move(data);
+        return r;
+    }
+    [[nodiscard]] static ActionResult failure(std::string message) {
+        ActionResult r;
+        r.status = ActionStatus::Failed;
+        r.error = std::move(message);
+        return r;
+    }
+};
+
+}  // namespace sdl::wei

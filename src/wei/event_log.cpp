@@ -1,0 +1,94 @@
+#include "wei/event_log.hpp"
+
+namespace sdl::wei {
+
+namespace json = support::json;
+
+void EventLog::record_step(StepRecord record) { steps_.push_back(std::move(record)); }
+
+void EventLog::record_workflow(WorkflowRecord record) {
+    workflows_.push_back(std::move(record));
+}
+
+void EventLog::record_intervention(InterventionRecord record) {
+    interventions_.push_back(std::move(record));
+}
+
+std::uint64_t EventLog::successful_commands() const noexcept {
+    std::uint64_t n = 0;
+    for (const StepRecord& s : steps_) {
+        if (s.robotic && s.status == ActionStatus::Succeeded) ++n;
+    }
+    return n;
+}
+
+support::Duration EventLog::module_busy_time(std::string_view module) const noexcept {
+    support::Duration total = support::Duration::zero();
+    for (const StepRecord& s : steps_) {
+        if (s.module == module && s.status == ActionStatus::Succeeded) {
+            total += s.duration();
+        }
+    }
+    return total;
+}
+
+support::TimePoint EventLog::first_start() const noexcept {
+    if (steps_.empty()) return {};
+    support::TimePoint t = steps_.front().start;
+    for (const StepRecord& s : steps_) {
+        if (s.start < t) t = s.start;
+    }
+    return t;
+}
+
+support::TimePoint EventLog::last_end() const noexcept {
+    if (steps_.empty()) return {};
+    support::TimePoint t = steps_.front().end;
+    for (const StepRecord& s : steps_) {
+        if (t < s.end) t = s.end;
+    }
+    return t;
+}
+
+json::Value EventLog::to_json() const {
+    json::Value doc = json::Value::object();
+    json::Value workflows = json::Value::array();
+    for (const WorkflowRecord& wf : workflows_) {
+        json::Value node = json::Value::object();
+        node.set("name", wf.name);
+        node.set("start_s", wf.start.to_seconds());
+        node.set("end_s", wf.end.to_seconds());
+        node.set("duration_s", (wf.end - wf.start).to_seconds());
+        node.set("completed", wf.completed);
+
+        json::Value steps = json::Value::array();
+        for (const StepRecord& s : steps_) {
+            if (s.workflow != wf.name || s.start < wf.start || wf.end < s.end) continue;
+            json::Value step = json::Value::object();
+            step.set("step", s.step);
+            step.set("module", s.module);
+            step.set("action", s.action);
+            step.set("start_s", s.start.to_seconds());
+            step.set("end_s", s.end.to_seconds());
+            step.set("duration_s", s.duration().to_seconds());
+            step.set("status", to_string(s.status));
+            step.set("attempt", s.attempt);
+            steps.push_back(std::move(step));
+        }
+        node.set("steps", std::move(steps));
+        workflows.push_back(std::move(node));
+    }
+    doc.set("workflow_runs", std::move(workflows));
+
+    json::Value interventions = json::Value::array();
+    for (const InterventionRecord& i : interventions_) {
+        json::Value node = json::Value::object();
+        node.set("time_s", i.time.to_seconds());
+        node.set("reason", i.reason);
+        interventions.push_back(std::move(node));
+    }
+    doc.set("interventions", std::move(interventions));
+    return doc;
+}
+
+}  // namespace sdl::wei

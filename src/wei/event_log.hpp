@@ -1,0 +1,84 @@
+// Event log: the timing record behind the paper's evaluation.
+//
+// "For each workflow that is run, a file is created that details the step
+// names run, their start time, end time and total duration" (§2.3). The
+// log captures every command attempt (including rejected ones), workflow
+// boundaries, and human interventions; the metrics module derives TWH,
+// CCWH and the synthesis/transfer split from it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/units.hpp"
+#include "wei/action.hpp"
+
+namespace sdl::wei {
+
+struct StepRecord {
+    std::string workflow;
+    std::string step;
+    std::string module;
+    std::string action;
+    support::TimePoint start;
+    support::TimePoint end;
+    ActionStatus status = ActionStatus::Succeeded;
+    int attempt = 1;            ///< 1-based attempt number for this step
+    bool robotic = true;        ///< from ModuleInfo (CCWH counts these)
+    std::uint64_t command_id = 0;
+
+    [[nodiscard]] support::Duration duration() const noexcept { return end - start; }
+};
+
+struct WorkflowRecord {
+    std::string name;
+    support::TimePoint start;
+    support::TimePoint end;
+    bool completed = true;
+};
+
+/// A human had to step in (retry budget exhausted). TWH segments break at
+/// these points.
+struct InterventionRecord {
+    support::TimePoint time;
+    std::string reason;
+};
+
+class EventLog {
+public:
+    void record_step(StepRecord record);
+    void record_workflow(WorkflowRecord record);
+    void record_intervention(InterventionRecord record);
+
+    [[nodiscard]] const std::vector<StepRecord>& steps() const noexcept { return steps_; }
+    [[nodiscard]] const std::vector<WorkflowRecord>& workflows() const noexcept {
+        return workflows_;
+    }
+    [[nodiscard]] const std::vector<InterventionRecord>& interventions() const noexcept {
+        return interventions_;
+    }
+
+    /// Successful robotic commands (the CCWH count when no intervention
+    /// splits the run).
+    [[nodiscard]] std::uint64_t successful_commands() const noexcept;
+
+    /// Sum of successful-step durations for one module.
+    [[nodiscard]] support::Duration module_busy_time(std::string_view module) const noexcept;
+
+    /// Start of the first and end of the last recorded step.
+    [[nodiscard]] support::TimePoint first_start() const noexcept;
+    [[nodiscard]] support::TimePoint last_end() const noexcept;
+
+    /// JSON export in the shape of the paper's per-workflow timing files:
+    /// one entry per workflow run with its steps, start/end and duration.
+    [[nodiscard]] support::json::Value to_json() const;
+
+private:
+    std::vector<StepRecord> steps_;
+    std::vector<WorkflowRecord> workflows_;
+    std::vector<InterventionRecord> interventions_;
+};
+
+}  // namespace sdl::wei

@@ -1,0 +1,43 @@
+#include "wei/sim_transport.hpp"
+
+#include "support/common.hpp"
+
+namespace sdl::wei {
+
+SimTransport::SimTransport(des::Simulation& sim, ModuleRegistry& modules,
+                           FaultInjector* faults)
+    : sim_(sim), modules_(modules), faults_(faults) {}
+
+ActionResult SimTransport::execute(const ActionRequest& request) {
+    Module& module = modules_.get(request.module);
+
+    // Rejection at command reception (before the driver runs).
+    if (faults_ != nullptr && faults_->should_reject(request)) {
+        const support::Duration latency = faults_->rejection_latency();
+        bool done = false;
+        sim_.schedule_in(latency, [&done] { done = true; });
+        const bool completed = sim_.run_until([&done] { return done; });
+        support::check(completed, "simulation drained before rejection timeout");
+        ActionResult result;
+        result.status = ActionStatus::Rejected;
+        result.error = "command rejected during reception/processing";
+        result.duration = latency;
+        return result;
+    }
+
+    const support::Duration duration = module.estimate(request);
+    bool done = false;
+    sim_.schedule_in(duration, [&done] { done = true; });
+    const bool completed = sim_.run_until([&done] { return done; });
+    support::check(completed, "simulation drained before command completion");
+
+    ActionResult result = module.execute(request);
+    result.duration = duration;
+    return result;
+}
+
+void SimTransport::wait(support::Duration duration) {
+    sim_.run_until_time(sim_.now() + duration);
+}
+
+}  // namespace sdl::wei

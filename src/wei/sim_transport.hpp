@@ -1,0 +1,36 @@
+// DES-backed transport: commands become events on a shared simulation.
+#pragma once
+
+#include "des/simulation.hpp"
+#include "wei/faults.hpp"
+#include "wei/module.hpp"
+#include "wei/transport.hpp"
+
+namespace sdl::wei {
+
+class SimTransport final : public Transport {
+public:
+    /// `faults` may be nullptr for a fault-free workcell. The transport
+    /// borrows all three references; they must outlive it.
+    SimTransport(des::Simulation& sim, ModuleRegistry& modules,
+                 FaultInjector* faults = nullptr);
+
+    /// Schedules the command's completion at now + estimate and runs the
+    /// simulation forward until it fires — any concurrently scheduled
+    /// processes (publication flows, reservoir monitors) execute while
+    /// the command is "in flight", exactly as in the lab.
+    [[nodiscard]] ActionResult execute(const ActionRequest& request) override;
+
+    [[nodiscard]] support::TimePoint now() const override { return sim_.now(); }
+
+    void wait(support::Duration duration) override;
+
+    [[nodiscard]] des::Simulation& simulation() noexcept { return sim_; }
+
+private:
+    des::Simulation& sim_;
+    ModuleRegistry& modules_;
+    FaultInjector* faults_;
+};
+
+}  // namespace sdl::wei

@@ -1,0 +1,82 @@
+#include "wei/thread_transport.hpp"
+
+#include <chrono>
+
+#include "support/common.hpp"
+
+namespace sdl::wei {
+
+ThreadTransport::ThreadTransport(ModuleRegistry& modules, double time_scale,
+                                 FaultInjector* faults)
+    : modules_(modules), time_scale_(time_scale), faults_(faults) {
+    support::check(time_scale > 0.0, "time scale must be positive");
+    for (const std::string& name : modules_.names()) {
+        DeviceServer server;
+        server.inbox = std::make_unique<support::Channel<Envelope>>();
+        Module& module = modules_.get(name);
+        support::Channel<Envelope>& inbox = *server.inbox;
+        server.thread = std::thread([this, &module, &inbox] { serve(module, inbox); });
+        servers_.emplace(name, std::move(server));
+    }
+}
+
+ThreadTransport::~ThreadTransport() {
+    for (auto& [name, server] : servers_) server.inbox->close();
+    for (auto& [name, server] : servers_) {
+        if (server.thread.joinable()) server.thread.join();
+    }
+}
+
+void ThreadTransport::serve(Module& module, support::Channel<Envelope>& inbox) {
+    while (auto envelope = inbox.receive()) {
+        ActionResult result;
+        if (faults_ != nullptr && faults_->should_reject(envelope->request)) {
+            const support::Duration latency = faults_->rejection_latency();
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(latency.to_seconds() * time_scale_));
+            result.status = ActionStatus::Rejected;
+            result.error = "command rejected during reception/processing";
+            result.duration = latency;
+        } else {
+            const support::Duration duration = module.estimate(envelope->request);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(duration.to_seconds() * time_scale_));
+            result = module.execute(envelope->request);
+            result.duration = duration;
+        }
+        {
+            std::lock_guard lock(clock_mutex_);
+            modeled_elapsed_s_ += result.duration.to_seconds();
+        }
+        envelope->reply.set_value(std::move(result));
+    }
+}
+
+ActionResult ThreadTransport::execute(const ActionRequest& request) {
+    const auto it = servers_.find(request.module);
+    if (it == servers_.end()) {
+        throw support::ConfigError("unknown module '" + request.module + "'");
+    }
+    Envelope envelope;
+    envelope.request = request;
+    std::future<ActionResult> reply = envelope.reply.get_future();
+    if (!it->second.inbox->send(std::move(envelope))) {
+        throw support::Error("wei", "device server for '" + request.module +
+                                        "' is shut down");
+    }
+    return reply.get();
+}
+
+support::TimePoint ThreadTransport::now() const {
+    std::lock_guard lock(const_cast<std::mutex&>(clock_mutex_));
+    return support::TimePoint::from_seconds(modeled_elapsed_s_);
+}
+
+void ThreadTransport::wait(support::Duration duration) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(duration.to_seconds() * time_scale_));
+    std::lock_guard lock(clock_mutex_);
+    modeled_elapsed_s_ += duration.to_seconds();
+}
+
+}  // namespace sdl::wei

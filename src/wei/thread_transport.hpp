@@ -1,0 +1,62 @@
+// Threaded transport: one device-server thread per module, communicating
+// through message channels — the in-process analogue of WEI's networked
+// device computers, and the deployment shape a workcell with real
+// hardware drivers would use.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "support/channel.hpp"
+#include "wei/faults.hpp"
+#include "wei/module.hpp"
+#include "wei/transport.hpp"
+
+namespace sdl::wei {
+
+class ThreadTransport final : public Transport {
+public:
+    /// `time_scale` compresses modeled durations into wall-clock sleeps:
+    /// 1.0 runs in real time, 1e-4 turns 42 s robot moves into ~4 ms.
+    /// Reported timestamps and durations stay in modeled (unscaled) time.
+    explicit ThreadTransport(ModuleRegistry& modules, double time_scale = 1e-4,
+                             FaultInjector* faults = nullptr);
+
+    /// Joins all device threads.
+    ~ThreadTransport() override;
+
+    ThreadTransport(const ThreadTransport&) = delete;
+    ThreadTransport& operator=(const ThreadTransport&) = delete;
+
+    [[nodiscard]] ActionResult execute(const ActionRequest& request) override;
+
+    /// Modeled time elapsed since construction: accumulated command time
+    /// (devices are the only time consumers in this control loop).
+    [[nodiscard]] support::TimePoint now() const override;
+
+    void wait(support::Duration duration) override;
+
+private:
+    struct Envelope {
+        ActionRequest request;
+        std::promise<ActionResult> reply;
+    };
+    struct DeviceServer {
+        std::unique_ptr<support::Channel<Envelope>> inbox;
+        std::thread thread;
+    };
+
+    void serve(Module& module, support::Channel<Envelope>& inbox);
+
+    ModuleRegistry& modules_;
+    double time_scale_;
+    FaultInjector* faults_;
+    std::map<std::string, DeviceServer> servers_;
+    std::mutex clock_mutex_;
+    double modeled_elapsed_s_ = 0.0;
+};
+
+}  // namespace sdl::wei

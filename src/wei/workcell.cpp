@@ -1,0 +1,125 @@
+#include "wei/workcell.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/common.hpp"
+#include "support/table.hpp"
+#include "support/yaml.hpp"
+
+namespace sdl::wei {
+
+namespace json = support::json;
+
+WorkcellConfig WorkcellConfig::from_yaml(std::string_view text) {
+    const json::Value doc = support::yaml::parse(text);
+    if (!doc.is_object()) {
+        throw support::ConfigError("workcell file must be a YAML mapping");
+    }
+    WorkcellConfig wc;
+    wc.name_ = doc.get_or("name", std::string("workcell"));
+
+    const json::Value* modules = doc.find("modules");
+    if (modules == nullptr || !modules->is_array()) {
+        throw support::ConfigError("workcell file must list 'modules'");
+    }
+    for (const json::Value& m : modules->as_array()) {
+        if (!m.is_object() || !m.contains("name")) {
+            throw support::ConfigError("each module needs at least a 'name'");
+        }
+        ModuleConfig mc;
+        mc.name = m.at("name").as_string();
+        mc.model = m.get_or("model", std::string(""));
+        mc.interface = m.get_or("interface", std::string("simulation"));
+        if (const json::Value* cfg = m.find("config")) mc.config = *cfg;
+        for (const ModuleConfig& existing : wc.modules_) {
+            if (existing.name == mc.name) {
+                throw support::ConfigError("duplicate module '" + mc.name + "'");
+            }
+        }
+        wc.modules_.push_back(std::move(mc));
+    }
+
+    if (const json::Value* locs = doc.find("locations")) {
+        if (!locs->is_object()) {
+            throw support::ConfigError("'locations' must be a mapping");
+        }
+        for (const auto& [name, pos] : locs->as_object()) {
+            LocationConfig lc;
+            lc.name = name;
+            if (pos.is_array()) {
+                for (const json::Value& coord : pos.as_array()) {
+                    lc.position.push_back(coord.as_double());
+                }
+            }
+            wc.locations_.push_back(std::move(lc));
+        }
+    }
+    return wc;
+}
+
+WorkcellConfig WorkcellConfig::from_file(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) throw support::Error("io", "cannot open workcell file '" + path + "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return from_yaml(buffer.str());
+}
+
+bool WorkcellConfig::has_module(std::string_view name) const noexcept {
+    for (const ModuleConfig& m : modules_) {
+        if (m.name == name) return true;
+    }
+    return false;
+}
+
+const ModuleConfig& WorkcellConfig::module(std::string_view name) const {
+    for (const ModuleConfig& m : modules_) {
+        if (m.name == name) return m;
+    }
+    throw support::ConfigError("workcell has no module '" + std::string(name) + "'");
+}
+
+std::string WorkcellConfig::to_yaml() const {
+    json::Value doc = json::Value::object();
+    doc.set("name", name_);
+    json::Value modules = json::Value::array();
+    for (const ModuleConfig& m : modules_) {
+        json::Value node = json::Value::object();
+        node.set("name", m.name);
+        if (!m.model.empty()) node.set("model", m.model);
+        node.set("interface", m.interface);
+        if (m.config.size() > 0) node.set("config", m.config);
+        modules.push_back(std::move(node));
+    }
+    doc.set("modules", std::move(modules));
+    if (!locations_.empty()) {
+        json::Value locs = json::Value::object();
+        for (const LocationConfig& l : locations_) {
+            json::Value pos = json::Value::array();
+            for (const double c : l.position) pos.push_back(c);
+            locs.set(l.name, std::move(pos));
+        }
+        doc.set("locations", std::move(locs));
+    }
+    return support::yaml::dump(doc);
+}
+
+std::string WorkcellConfig::describe() const {
+    support::TextTable table({"Module", "Model", "Interface", "Config"});
+    for (const ModuleConfig& m : modules_) {
+        table.add_row({m.name, m.model.empty() ? "-" : m.model, m.interface,
+                       m.config.size() > 0 ? m.config.dump() : "-"});
+    }
+    std::string out = "Workcell: " + name_ + "\n" + table.str();
+    if (!locations_.empty()) {
+        out += "Locations:";
+        for (const LocationConfig& l : locations_) {
+            out += " " + l.name;
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace sdl::wei

@@ -1,0 +1,68 @@
+// Workcell configuration: "a declarative YAML notation is used to specify
+// how a workcell is configured from a set of modules" (§2.2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace sdl::wei {
+
+struct ModuleConfig {
+    std::string name;
+    std::string model;
+    std::string interface = "simulation";  ///< driver binding
+    support::json::Value config = support::json::Value::object();
+};
+
+struct LocationConfig {
+    std::string name;
+    std::vector<double> position;  ///< joint/cartesian coordinates (free-form)
+};
+
+/// Parsed workcell file. This is configuration only — module *instances*
+/// are built by the application (see devices/ and core/) and registered
+/// against these names.
+class WorkcellConfig {
+public:
+    /// Parses the YAML notation:
+    ///   name: rpl_workcell
+    ///   modules:
+    ///     - name: sciclops
+    ///       model: Hudson SciClops
+    ///       interface: simulation
+    ///       config: {towers: 4}
+    ///   locations:
+    ///     camera.nest: [310.5, 20.0]
+    /// Throws ParseError / ConfigError on malformed documents.
+    [[nodiscard]] static WorkcellConfig from_yaml(std::string_view text);
+
+    /// Loads from a file path.
+    [[nodiscard]] static WorkcellConfig from_file(const std::string& path);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::vector<ModuleConfig>& modules() const noexcept {
+        return modules_;
+    }
+    [[nodiscard]] const std::vector<LocationConfig>& locations() const noexcept {
+        return locations_;
+    }
+
+    [[nodiscard]] bool has_module(std::string_view name) const noexcept;
+    [[nodiscard]] const ModuleConfig& module(std::string_view name) const;
+
+    /// Serializes back to YAML (round-trip support for tooling).
+    [[nodiscard]] std::string to_yaml() const;
+
+    /// Human-readable inventory table (the Figure-1 "workcell map").
+    [[nodiscard]] std::string describe() const;
+
+private:
+    std::string name_;
+    std::vector<ModuleConfig> modules_;
+    std::vector<LocationConfig> locations_;
+};
+
+}  // namespace sdl::wei

@@ -1,0 +1,291 @@
+// Additional imaging coverage: drawing primitives, filter edge cases,
+// renderer properties, and detector behaviour at the margins.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imaging/components.hpp"
+#include "imaging/draw.hpp"
+#include "imaging/fiducial.hpp"
+#include "imaging/filters.hpp"
+#include "imaging/gridfit.hpp"
+#include "imaging/hough.hpp"
+#include "imaging/plate_render.hpp"
+#include "imaging/well_reader.hpp"
+#include "support/common.hpp"
+#include "support/random.hpp"
+
+using namespace sdl::imaging;
+using sdl::color::Rgb8;
+using sdl::support::Rng;
+
+// ------------------------------------------------------------------ draw
+
+TEST(Draw, FillRectClipsToImage) {
+    Image img(10, 10, {0, 0, 0});
+    fill_rect(img, {-5, -5, 5, 5}, {255, 255, 255});
+    EXPECT_EQ(img.pixel(0, 0), (Rgb8{255, 255, 255}));
+    EXPECT_EQ(img.pixel(4, 4), (Rgb8{255, 255, 255}));
+    EXPECT_EQ(img.pixel(5, 5), (Rgb8{0, 0, 0}));
+    // Entirely outside: no-op, no crash.
+    fill_rect(img, {20, 20, 30, 30}, {9, 9, 9});
+}
+
+TEST(Draw, FillCircleCoversExpectedArea) {
+    Image img(50, 50, {0, 0, 0});
+    fill_circle(img, {25, 25}, 10, {255, 255, 255});
+    std::size_t white = 0;
+    for (int y = 0; y < 50; ++y) {
+        for (int x = 0; x < 50; ++x) {
+            if (img.pixel(x, y).r > 128) ++white;
+        }
+    }
+    const double area = 3.14159265 * 100.0;
+    EXPECT_NEAR(static_cast<double>(white), area, area * 0.06);
+}
+
+TEST(Draw, FillCircleAntialiasesEdges) {
+    Image img(30, 30, {0, 0, 0});
+    fill_circle(img, {15.5, 15.5}, 8, {255, 255, 255});
+    // Some pixels must be partially covered (neither black nor white).
+    int partial = 0;
+    for (int y = 0; y < 30; ++y) {
+        for (int x = 0; x < 30; ++x) {
+            const auto v = img.pixel(x, y).r;
+            if (v > 20 && v < 235) ++partial;
+        }
+    }
+    EXPECT_GT(partial, 4);
+}
+
+TEST(Draw, FillRingLeavesInteriorUntouched) {
+    Image img(60, 60, {10, 10, 10});
+    fill_ring(img, {30, 30}, 20, 14, {200, 200, 200});
+    EXPECT_EQ(img.pixel(30, 30), (Rgb8{10, 10, 10}));     // center
+    EXPECT_GT(img.pixel(30 + 17, 30).r, 150);             // mid-ring
+    EXPECT_EQ(img.pixel(30 + 25, 30), (Rgb8{10, 10, 10}));  // outside
+}
+
+TEST(Draw, FillQuadHandlesBothWindingOrders) {
+    Image a(20, 20, {0, 0, 0});
+    Image b(20, 20, {0, 0, 0});
+    const Vec2 cw[4] = {{4, 4}, {15, 4}, {15, 15}, {4, 15}};
+    const Vec2 ccw[4] = {{4, 4}, {4, 15}, {15, 15}, {15, 4}};
+    fill_quad(a, cw, {255, 255, 255});
+    fill_quad(b, ccw, {255, 255, 255});
+    for (int y = 0; y < 20; ++y) {
+        for (int x = 0; x < 20; ++x) {
+            EXPECT_EQ(a.pixel(x, y), b.pixel(x, y)) << x << "," << y;
+        }
+    }
+    EXPECT_EQ(a.pixel(10, 10), (Rgb8{255, 255, 255}));
+}
+
+TEST(Draw, LineConnectsEndpoints) {
+    Image img(20, 20, {0, 0, 0});
+    draw_line(img, {2, 3}, {17, 12}, {255, 0, 0});
+    EXPECT_EQ(img.pixel(2, 3).r, 255);
+    EXPECT_EQ(img.pixel(17, 12).r, 255);
+}
+
+TEST(Draw, CircleOutlinePointsLieOnRadius) {
+    Image img(60, 60, {0, 0, 0});
+    draw_circle(img, {30, 30}, 12, {0, 255, 0});
+    for (int y = 0; y < 60; ++y) {
+        for (int x = 0; x < 60; ++x) {
+            if (img.pixel(x, y).g == 255) {
+                const double d = std::hypot(x - 30.0, y - 30.0);
+                EXPECT_NEAR(d, 12.0, 1.2);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- filters
+
+TEST(FiltersExtra, ZeroSigmaBlurIsIdentity) {
+    Rng rng(3);
+    GrayImage img(8, 8);
+    for (auto& v : img.values()) v = static_cast<float>(rng.uniform());
+    const GrayImage out = gaussian_blur(img, 0.0);
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) EXPECT_EQ(out.at(x, y), img.at(x, y));
+    }
+}
+
+TEST(FiltersExtra, SobelDetectsHorizontalEdge) {
+    GrayImage img(10, 10);
+    for (int y = 5; y < 10; ++y) {
+        for (int x = 0; x < 10; ++x) img.at(x, y) = 1.0F;
+    }
+    const Gradients g = sobel(img);
+    EXPECT_GT(g.gy.at(5, 5), 1.0F);
+    EXPECT_NEAR(g.gx.at(5, 5), 0.0F, 1e-5F);
+}
+
+TEST(FiltersExtra, AdaptiveThresholdOnUniformImageIsEmpty) {
+    GrayImage img(32, 32, 0.5F);
+    const BinaryImage mask = adaptive_threshold(img, 9, 0.05F);
+    EXPECT_EQ(mask.count(), 0u);
+}
+
+TEST(FiltersExtra, RegionMeanClipsAndAverages) {
+    GrayImage img(10, 10, 0.25F);
+    for (int x = 0; x < 10; ++x) img.at(x, 0) = 1.0F;
+    EXPECT_NEAR(region_mean(img, {0, 0, 10, 1}), 1.0F, 1e-6F);
+    EXPECT_NEAR(region_mean(img, {-100, 1, 100, 100}), 0.25F, 1e-6F);
+    EXPECT_EQ(region_mean(img, {50, 50, 60, 60}), 0.0F);  // fully clipped
+}
+
+// ------------------------------------------------------------ components
+
+TEST(ComponentsExtra, LargeBlobDoesNotOverflow) {
+    // Flood fill is iterative; a frame-sized blob must be fine.
+    BinaryImage mask(300, 300, true);
+    const Labeling lab = label_components(mask);
+    ASSERT_EQ(lab.blobs.size(), 1u);
+    EXPECT_EQ(lab.blobs[0].area, 90000u);
+}
+
+TEST(ComponentsExtra, LabelsStayDenseAfterMinAreaFiltering) {
+    BinaryImage mask(30, 10);
+    mask.set(0, 0, true);  // speck (dropped)
+    for (int x = 5; x < 9; ++x)
+        for (int y = 2; y < 6; ++y) mask.set(x, y, true);  // blob A
+    mask.set(15, 0, true);  // speck (dropped)
+    for (int x = 20; x < 26; ++x)
+        for (int y = 3; y < 8; ++y) mask.set(x, y, true);  // blob B
+    const Labeling lab = label_components(mask, 4);
+    ASSERT_EQ(lab.blobs.size(), 2u);
+    EXPECT_EQ(lab.blobs[0].label, 0);
+    EXPECT_EQ(lab.blobs[1].label, 1);
+    EXPECT_EQ(lab.label_at(6, 3), 0);
+    EXPECT_EQ(lab.label_at(22, 5), 1);
+}
+
+// -------------------------------------------------------------- fiducial
+
+class FiducialSize : public ::testing::TestWithParam<double> {};
+
+TEST_P(FiducialSize, DetectsAcrossScales) {
+    const double side = GetParam();
+    Image img(400, 300, {90, 90, 95});
+    render_marker(img, MarkerDictionary::standard(), 2, {200, 150}, side, 0.15);
+    const auto detections = detect_markers(img, MarkerDictionary::standard());
+    ASSERT_EQ(detections.size(), 1u) << "side " << side;
+    EXPECT_EQ(detections[0].id, 2u);
+    // Boundary-pixel quantization gives an absolute ~2-3 px floor, which
+    // dominates for small markers.
+    EXPECT_NEAR(detections[0].side, side, std::max(side * 0.08, 3.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FiducialSize,
+                         ::testing::Values(24.0, 36.0, 56.0, 80.0, 120.0));
+
+TEST(FiducialExtra, TwoMarkersInOneFrame) {
+    Image img(400, 200, {85, 85, 90});
+    render_marker(img, MarkerDictionary::standard(), 3, {100, 100}, 50, 0.0);
+    render_marker(img, MarkerDictionary::standard(), 9, {300, 100}, 50, 0.4);
+    const auto detections = detect_markers(img, MarkerDictionary::standard());
+    ASSERT_EQ(detections.size(), 2u);
+    const bool has3 = detections[0].id == 3 || detections[1].id == 3;
+    const bool has9 = detections[0].id == 9 || detections[1].id == 9;
+    EXPECT_TRUE(has3);
+    EXPECT_TRUE(has9);
+}
+
+// ----------------------------------------------------------------- hough
+
+TEST(HoughExtra, ResultsSortedByVotes) {
+    Image img(200, 100, {230, 230, 230});
+    fill_circle(img, {50, 50}, 14, {30, 30, 30});   // big circle: more votes
+    fill_circle(img, {150, 50}, 8, {30, 30, 30});   // small circle
+    HoughParams params;
+    params.r_min = 5;
+    params.r_max = 18;
+    params.min_center_dist = 30;
+    const auto circles = hough_circles(to_gray(img), params);
+    ASSERT_GE(circles.size(), 2u);
+    EXPECT_GE(circles[0].votes, circles[1].votes);
+    EXPECT_NEAR(circles[0].center.x, 50, 3.0);  // the stronger one first
+}
+
+TEST(HoughExtra, NmsMergesAdjacentPeaks) {
+    Image img(100, 100, {230, 230, 230});
+    fill_circle(img, {50, 50}, 12, {30, 30, 30});
+    HoughParams params;
+    params.r_min = 8;
+    params.r_max = 16;
+    params.min_center_dist = 15;
+    const auto circles = hough_circles(to_gray(img), params);
+    EXPECT_EQ(circles.size(), 1u);  // one physical circle -> one detection
+}
+
+// ------------------------------------------------------------- grid fit
+
+TEST(GridFitExtra, DegenerateAxesThrow) {
+    GridModel m;
+    m.origin = {0, 0};
+    m.row_axis = {1, 0};
+    m.col_axis = {2, 0};  // parallel to row_axis
+    EXPECT_THROW((void)m.to_grid({5, 5}), sdl::support::Error);
+}
+
+// -------------------------------------------------------------- renderer
+
+TEST(RendererExtra, VignetteDarkensCorners) {
+    PlateScene scene;
+    scene.noise_sigma = 0.0;
+    scene.vignette = 0.25;
+    scene.illum_gradient = {0.0, 0.0};
+    std::vector<Rgb8> colors(96, Rgb8{120, 120, 120});
+    Rng rng(1);
+    const Image frame = render_plate(scene, colors, rng);
+    // Deck background: corner must be darker than the frame-center deck.
+    const Rgb8 corner = frame.pixel(3, 3);
+    const Rgb8 center = frame.pixel(frame.width() / 2, 20);
+    EXPECT_LT(corner.r, center.r);
+}
+
+TEST(RendererExtra, NoiseIsDeterministicPerSeed) {
+    PlateScene scene;
+    std::vector<Rgb8> colors(96, Rgb8{120, 120, 120});
+    Rng rng_a(5), rng_b(5), rng_c(6);
+    const Image a = render_plate(scene, colors, rng_a);
+    const Image b = render_plate(scene, colors, rng_b);
+    const Image c = render_plate(scene, colors, rng_c);
+    EXPECT_EQ(a.pixel(100, 100), b.pixel(100, 100));
+    EXPECT_EQ(a.pixel(321, 417), b.pixel(321, 417));
+    bool differs = false;
+    for (int x = 0; x < a.width() && !differs; x += 7) {
+        if (!(a.pixel(x, 50) == c.pixel(x, 50))) differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+// ------------------------------------------------------------ well read
+
+TEST(WellReaderExtra, RejectsWrongMarkerId) {
+    PlateScene scene;  // renders marker id 7
+    std::vector<Rgb8> colors(96, Rgb8{120, 120, 120});
+    Rng rng(9);
+    const Image frame = render_plate(scene, colors, rng);
+    WellReadParams params;
+    params.geometry = scene.geometry;
+    params.marker_id = 3;  // wrong id
+    const WellReadout readout = read_plate(frame, params);
+    EXPECT_FALSE(readout.ok);
+}
+
+TEST(WellReaderExtra, AcceptsSpecificMarkerId) {
+    PlateScene scene;
+    std::vector<Rgb8> colors(96, Rgb8{120, 120, 120});
+    Rng rng(9);
+    const Image frame = render_plate(scene, colors, rng);
+    WellReadParams params;
+    params.geometry = scene.geometry;
+    params.marker_id = static_cast<int>(scene.marker_id);
+    const WellReadout readout = read_plate(frame, params);
+    EXPECT_TRUE(readout.ok);
+    EXPECT_EQ(readout.marker.id, scene.marker_id);
+}

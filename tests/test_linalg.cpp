@@ -1,0 +1,216 @@
+// Tests for the dense linear algebra kernels (matrix ops, Cholesky,
+// least squares) that the GP solver and the vision grid fit rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/lstsq.hpp"
+#include "linalg/matrix.hpp"
+#include "support/common.hpp"
+#include "support/random.hpp"
+
+using namespace sdl::linalg;
+using sdl::support::Rng;
+
+TEST(Matrix, BasicOps) {
+    Matrix a(2, 3);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(0, 2) = 3;
+    a(1, 0) = 4;
+    a(1, 1) = 5;
+    a(1, 2) = 6;
+
+    const Matrix t = a.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+
+    const Vec v{1.0, 1.0, 1.0};
+    const Vec av = a * v;
+    EXPECT_DOUBLE_EQ(av[0], 6.0);
+    EXPECT_DOUBLE_EQ(av[1], 15.0);
+}
+
+TEST(Matrix, MatmulAgainstHandComputed) {
+    Matrix a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 3;
+    a(1, 1) = 4;
+    Matrix b(2, 2);
+    b(0, 0) = 5;
+    b(0, 1) = 6;
+    b(1, 0) = 7;
+    b(1, 1) = 8;
+    const Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, IdentityIsNeutral) {
+    Rng rng(5);
+    Matrix a(4, 4);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.uniform(-2, 2);
+    const Matrix ai = a * Matrix::identity(4);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(ai(i, j), a(i, j));
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+    Matrix a(2, 3), b(2, 3);
+    EXPECT_THROW((void)(a * b), sdl::support::LogicError);
+    const Vec short_vec{1.0, 2.0};
+    EXPECT_THROW((void)(a * short_vec), sdl::support::LogicError);
+}
+
+TEST(VecOps, DotAxpyNorm) {
+    const Vec a{1, 2, 3};
+    const Vec b{4, 5, 6};
+    EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+    EXPECT_DOUBLE_EQ(norm2(Vec{3, 4}), 5.0);
+    Vec y{1, 1, 1};
+    axpy(2.0, a, y);
+    EXPECT_DOUBLE_EQ(y[2], 7.0);
+}
+
+// --------------------------------------------------------------- cholesky
+
+namespace {
+/// Random SPD matrix A = B Bᵀ + n·I.
+Matrix random_spd(std::size_t n, Rng& rng) {
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.uniform(-1, 1);
+    Matrix a = b * b.transposed();
+    a.add_diagonal(static_cast<double>(n));
+    return a;
+}
+}  // namespace
+
+TEST(Cholesky, ReconstructsMatrix) {
+    Rng rng(31);
+    const Matrix a = random_spd(6, rng);
+    const Cholesky chol(a);
+    const Matrix l = chol.lower();
+    const Matrix llt = l * l.transposed();
+    for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 6; ++j) EXPECT_NEAR(llt(i, j), a(i, j), 1e-9);
+}
+
+TEST(Cholesky, SolveSatisfiesSystem) {
+    Rng rng(37);
+    const Matrix a = random_spd(8, rng);
+    Vec b(8);
+    for (double& x : b) x = rng.uniform(-5, 5);
+    const Vec x = Cholesky(a).solve(b);
+    const Vec ax = a * x;
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+TEST(Cholesky, LogDetMatchesKnownMatrix) {
+    // diag(4, 9) -> det = 36, logdet = log(36).
+    Matrix a(2, 2);
+    a(0, 0) = 4;
+    a(1, 1) = 9;
+    EXPECT_NEAR(Cholesky(a).log_det(), std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+    Matrix a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 2;
+    a(1, 1) = 1;  // eigenvalues 3, -1
+    EXPECT_THROW(Cholesky{a}, sdl::support::Error);
+}
+
+TEST(Cholesky, JitterRescuesSemidefiniteMatrix) {
+    // Rank-1 PSD matrix (singular): plain Cholesky fails, jittered works.
+    Matrix a(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j) a(i, j) = 1.0;
+    EXPECT_THROW(Cholesky{a}, sdl::support::Error);
+    EXPECT_NO_THROW(cholesky_with_jitter(a));
+}
+
+TEST(Cholesky, NonSquareThrows) {
+    EXPECT_THROW(Cholesky{Matrix(2, 3)}, sdl::support::LogicError);
+}
+
+// ------------------------------------------------------------------ lstsq
+
+TEST(Lstsq, RecoversExactLinearModel) {
+    // y = 2x + 1 sampled without noise.
+    Matrix a(5, 2);
+    Vec b(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+        const double x = static_cast<double>(i);
+        a(i, 0) = x;
+        a(i, 1) = 1.0;
+        b[i] = 2.0 * x + 1.0;
+    }
+    const Vec coef = lstsq(a, b);
+    EXPECT_NEAR(coef[0], 2.0, 1e-10);
+    EXPECT_NEAR(coef[1], 1.0, 1e-10);
+}
+
+TEST(Lstsq, RidgeShrinksSolution) {
+    Matrix a(4, 1);
+    Vec b(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        a(i, 0) = 1.0;
+        b[i] = 10.0;
+    }
+    const Vec plain = lstsq(a, b);
+    const Vec ridged = lstsq(a, b, 100.0);
+    EXPECT_NEAR(plain[0], 10.0, 1e-10);
+    EXPECT_LT(ridged[0], plain[0]);
+}
+
+TEST(Lstsq, UnderdeterminedThrows) {
+    EXPECT_THROW(lstsq(Matrix(2, 3), Vec(2)), sdl::support::LogicError);
+}
+
+TEST(RobustLstsq, IgnoresGrossOutliers) {
+    // y = 3x with two wild outliers; Huber IRLS should stay near slope 3,
+    // ordinary least squares is dragged away.
+    Rng rng(41);
+    const std::size_t n = 30;
+    Matrix a(n, 1);
+    Vec b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = static_cast<double>(i) / n;
+        a(i, 0) = x;
+        b[i] = 3.0 * x + rng.normal(0.0, 0.01);
+    }
+    b[3] = 50.0;
+    b[17] = -40.0;
+    const Vec ols = lstsq(a, b);
+    const Vec robust = robust_lstsq(a, b, 0.1);
+    EXPECT_GT(std::fabs(ols[0] - 3.0), 1.0);
+    EXPECT_NEAR(robust[0], 3.0, 0.5);
+}
+
+// Property sweep: solve accuracy holds across sizes.
+class CholeskySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskySizes, SolveResidualSmall) {
+    Rng rng(GetParam() * 101 + 7);
+    const std::size_t n = GetParam();
+    const Matrix a = random_spd(n, rng);
+    Vec b(n);
+    for (double& x : b) x = rng.uniform(-1, 1);
+    const Vec x = cholesky_with_jitter(a).solve(b);
+    const Vec ax = a * x;
+    double residual = 0.0;
+    for (std::size_t i = 0; i < n; ++i) residual = std::max(residual, std::fabs(ax[i] - b[i]));
+    EXPECT_LT(residual, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizes,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u, 32u, 64u, 128u));

@@ -1,0 +1,126 @@
+// Tests for the SDL metrics module (TWH, CCWH, time-per-color, Table 1).
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+#include "support/units.hpp"
+
+using namespace sdl::metrics;
+using sdl::support::Duration;
+using sdl::support::TimePoint;
+using sdl::wei::ActionStatus;
+using sdl::wei::EventLog;
+using sdl::wei::StepRecord;
+
+namespace {
+
+StepRecord step(const char* module, double start, double end,
+                ActionStatus status = ActionStatus::Succeeded, bool robotic = true) {
+    StepRecord r;
+    r.workflow = "wf";
+    r.step = "s";
+    r.module = module;
+    r.action = "a";
+    r.start = TimePoint::from_seconds(start);
+    r.end = TimePoint::from_seconds(end);
+    r.status = status;
+    r.robotic = robotic;
+    return r;
+}
+
+}  // namespace
+
+TEST(Metrics, BasicAccounting) {
+    EventLog log;
+    // One mix iteration, paper-calibrated shape.
+    log.record_step(step("pf400", 0.0, 42.65));
+    log.record_step(step("ot2", 42.65, 188.0));
+    log.record_step(step("pf400", 188.0, 230.6));
+    log.record_step(step("camera", 230.6, 232.1, ActionStatus::Succeeded, false));
+
+    const std::vector<TimePoint> uploads{TimePoint::from_seconds(100),
+                                         TimePoint::from_seconds(330),
+                                         TimePoint::from_seconds(560)};
+    const SdlMetrics m = compute_metrics(log, 1, uploads);
+    EXPECT_EQ(m.commands_completed, 3u);  // camera excluded
+    EXPECT_NEAR(m.synthesis_time.to_seconds(), 145.35, 0.01);
+    EXPECT_NEAR(m.transfer_time.to_seconds(), 85.25, 0.01);
+    EXPECT_NEAR(m.total_time.to_seconds(), 232.1, 1e-9);
+    EXPECT_NEAR(m.time_per_color.to_seconds(), 232.1, 1e-9);
+    EXPECT_NEAR(m.mean_upload_interval.to_seconds(), 230.0, 1e-9);
+    EXPECT_EQ(m.interventions, 0);
+    // No interventions: TWH equals the whole run.
+    EXPECT_NEAR(m.time_without_humans.to_seconds(), 232.1, 1e-9);
+}
+
+TEST(Metrics, RejectedCommandsDoNotCount) {
+    EventLog log;
+    log.record_step(step("pf400", 0, 5, ActionStatus::Rejected));
+    log.record_step(step("pf400", 5, 47.65));
+    const SdlMetrics m = compute_metrics(log, 0, {});
+    EXPECT_EQ(m.commands_completed, 1u);
+    // Busy time counts only the successful attempt.
+    EXPECT_NEAR(m.transfer_time.to_seconds(), 42.65, 1e-9);
+}
+
+TEST(Metrics, TwhSplitsAtInterventions) {
+    EventLog log;
+    log.record_step(step("ot2", 0, 1000));
+    log.record_step(step("ot2", 1000, 5000));
+    log.record_intervention({TimePoint::from_seconds(1000), "restart pf400 driver"});
+    const SdlMetrics m = compute_metrics(log, 2, {});
+    EXPECT_EQ(m.interventions, 1);
+    // Longest human-free stretch: 1000 -> 5000.
+    EXPECT_NEAR(m.time_without_humans.to_seconds(), 4000.0, 1e-9);
+    EXPECT_NEAR(m.total_time.to_seconds(), 5000.0, 1e-9);
+}
+
+TEST(Metrics, TimePerColorDivision) {
+    EventLog log;
+    log.record_step(step("ot2", 0, 29520));
+    const SdlMetrics m = compute_metrics(log, 128, {});
+    // 8 h 12 m / 128 colors = 230.6 s ~ "4 mins".
+    EXPECT_NEAR(m.time_per_color.to_minutes(), 3.84, 0.01);
+}
+
+TEST(Metrics, ZeroColorsAvoidsDivision) {
+    EventLog log;
+    log.record_step(step("ot2", 0, 100));
+    const SdlMetrics m = compute_metrics(log, 0, {});
+    EXPECT_DOUBLE_EQ(m.time_per_color.to_seconds(), 0.0);
+}
+
+TEST(Metrics, CustomModuleClassification) {
+    EventLog log;
+    log.record_step(step("ot2_left", 0, 100));
+    log.record_step(step("ot2_right", 100, 250));
+    log.record_step(step("pf400", 250, 300));
+    MetricsConfig config;
+    config.synthesis_modules = {"ot2_left", "ot2_right"};
+    config.transfer_modules = {"pf400"};
+    const SdlMetrics m = compute_metrics(log, 2, {}, config);
+    EXPECT_NEAR(m.synthesis_time.to_seconds(), 250.0, 1e-9);
+    EXPECT_NEAR(m.transfer_time.to_seconds(), 50.0, 1e-9);
+}
+
+TEST(Metrics, PaperReferenceValues) {
+    const SdlMetrics paper = paper_table1_reference();
+    EXPECT_EQ(paper.commands_completed, 387u);
+    EXPECT_EQ(paper.total_colors, 128);
+    EXPECT_NEAR(paper.time_without_humans.to_minutes(), 492.0, 1e-9);
+    EXPECT_NEAR(paper.synthesis_time.to_minutes(), 310.0, 1e-9);
+    EXPECT_NEAR(paper.transfer_time.to_minutes(), 182.0, 1e-9);
+}
+
+TEST(Metrics, TableRendersPaperComparison) {
+    EventLog log;
+    log.record_step(step("ot2", 0, 18600));
+    log.record_step(step("pf400", 18600, 29520));
+    const SdlMetrics measured = compute_metrics(log, 128, {});
+    const SdlMetrics paper = paper_table1_reference();
+    const std::string table = render_metrics_table(measured, &paper);
+    EXPECT_NE(table.find("Time without humans"), std::string::npos);
+    EXPECT_NE(table.find("Paper (B=1)"), std::string::npos);
+    EXPECT_NE(table.find("8 h 12 m"), std::string::npos);
+    EXPECT_NE(table.find("387"), std::string::npos);
+    EXPECT_NE(table.find("5 h 10 m"), std::string::npos);
+}

@@ -1,0 +1,497 @@
+// Tests for the optimization solvers: the paper's genetic algorithm, the
+// Gaussian-process Bayesian solver, and the baselines — including
+// closed-loop convergence on the simulated color-mixing objective.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "color/mixing.hpp"
+#include "solver/anneal.hpp"
+#include "solver/baselines.hpp"
+#include "solver/bayes.hpp"
+#include "solver/factory.hpp"
+#include "solver/genetic.hpp"
+#include "solver/pattern.hpp"
+#include "support/common.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+
+using namespace sdl::solver;
+using sdl::color::BeerLambertMixer;
+using sdl::color::DyeLibrary;
+using sdl::color::Rgb8;
+using sdl::support::Rng;
+
+namespace {
+
+constexpr Rgb8 kTarget{120, 120, 120};
+
+/// Simulated objective: mix the ratios, add camera-like measurement
+/// noise, return the RGB Euclidean distance to the target.
+class NoisyObjective {
+public:
+    explicit NoisyObjective(std::uint64_t seed, double noise_sigma = 2.0)
+        : mixer_(DyeLibrary::cmyk()), rng_(seed), noise_sigma_(noise_sigma) {}
+
+    Observation evaluate(const std::vector<double>& ratios) {
+        const Rgb8 truth = mixer_.mix_ratios(ratios);
+        auto jitter = [&](std::uint8_t v) {
+            const long q = std::lround(v + rng_.normal(0.0, noise_sigma_));
+            return static_cast<std::uint8_t>(q < 0 ? 0 : (q > 255 ? 255 : q));
+        };
+        Observation obs;
+        obs.ratios = ratios;
+        obs.measured = {jitter(truth.r), jitter(truth.g), jitter(truth.b)};
+        obs.score = sdl::color::rgb_distance(obs.measured, kTarget);
+        return obs;
+    }
+
+    const BeerLambertMixer& mixer() const { return mixer_; }
+
+private:
+    BeerLambertMixer mixer_;
+    Rng rng_;
+    double noise_sigma_;
+};
+
+/// Runs a solver for `budget` samples in batches of `batch`, returning
+/// the best score seen.
+double run_loop(Solver& solver, NoisyObjective& objective, std::size_t budget,
+                std::size_t batch) {
+    double best = 1e300;
+    std::size_t done = 0;
+    while (done < budget) {
+        const std::size_t n = std::min(batch, budget - done);
+        const auto proposals = solver.ask(n);
+        std::vector<Observation> observations;
+        observations.reserve(proposals.size());
+        for (const auto& p : proposals) {
+            observations.push_back(objective.evaluate(p));
+            best = std::min(best, observations.back().score);
+        }
+        solver.tell(observations);
+        done += n;
+    }
+    return best;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- interface
+
+TEST(SolverBase, TracksBestAcrossTells) {
+    GeneticSolver solver;
+    EXPECT_FALSE(solver.best().has_value());
+    Observation a{{0.5, 0.5, 0.5, 0.5}, {100, 100, 100}, 30.0};
+    Observation b{{0.2, 0.2, 0.2, 0.2}, {118, 121, 119}, 3.0};
+    Observation c{{0.9, 0.1, 0.1, 0.1}, {60, 150, 180}, 80.0};
+    solver.tell(std::vector<Observation>{a});
+    EXPECT_DOUBLE_EQ(solver.best()->score, 30.0);
+    solver.tell(std::vector<Observation>{b, c});
+    EXPECT_DOUBLE_EQ(solver.best()->score, 3.0);
+}
+
+TEST(SolverBase, ProposalValidation) {
+    EXPECT_TRUE(is_valid_proposal(std::vector<double>{0.1, 0.2, 0.3, 0.4}, 4));
+    EXPECT_FALSE(is_valid_proposal(std::vector<double>{0.1, 0.2, 0.3}, 4));
+    EXPECT_FALSE(is_valid_proposal(std::vector<double>{-0.1, 0.2, 0.3, 0.4}, 4));
+    EXPECT_FALSE(is_valid_proposal(std::vector<double>{0.0, 0.0, 0.0, 0.0}, 4));
+    EXPECT_FALSE(is_valid_proposal(std::vector<double>{1.2, 0.0, 0.0, 0.0}, 4));
+}
+
+// ---------------------------------------------------------------- genetic
+
+TEST(Genetic, InitialPopulationComesFromUniformGrid) {
+    GeneticConfig config;
+    config.grid_levels = 5;
+    GeneticSolver solver(config);
+    const auto proposals = solver.ask(16);
+    ASSERT_EQ(proposals.size(), 16u);
+    for (const auto& p : proposals) {
+        ASSERT_EQ(p.size(), 4u);
+        for (const double r : p) {
+            // Grid values are multiples of 1/(levels-1) = 0.25.
+            const double scaled = r * 4.0;
+            EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+        }
+        EXPECT_TRUE(is_valid_proposal(p, 4));
+    }
+}
+
+TEST(Genetic, ElitePropagatedIntoNextGeneration) {
+    GeneticSolver solver;
+    auto initial = solver.ask(9);
+    std::vector<Observation> observations;
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+        observations.push_back({initial[i], {0, 0, 0}, 50.0 - static_cast<double>(i)});
+    }
+    solver.tell(observations);
+    const auto next = solver.ask(9);
+    // Slot 0 must be the best (lowest score) element of the previous
+    // generation: the last one told.
+    EXPECT_EQ(next[0], initial.back());
+}
+
+TEST(Genetic, ProposalsStayValidAcrossGenerations) {
+    GeneticSolver solver;
+    NoisyObjective objective(5);
+    for (int gen = 0; gen < 12; ++gen) {
+        const auto proposals = solver.ask(9);
+        std::vector<Observation> observations;
+        for (const auto& p : proposals) {
+            ASSERT_TRUE(is_valid_proposal(p, 4)) << "generation " << gen;
+            observations.push_back(objective.evaluate(p));
+        }
+        solver.tell(observations);
+    }
+}
+
+TEST(Genetic, DeterministicForEqualSeeds) {
+    GeneticConfig config;
+    config.seed = 77;
+    GeneticSolver a(config), b(config);
+    NoisyObjective obj_a(9), obj_b(9);
+    for (int gen = 0; gen < 5; ++gen) {
+        const auto pa = a.ask(6);
+        const auto pb = b.ask(6);
+        ASSERT_EQ(pa, pb) << "generation " << gen;
+        std::vector<Observation> oa, ob;
+        for (const auto& p : pa) oa.push_back(obj_a.evaluate(p));
+        for (const auto& p : pb) ob.push_back(obj_b.evaluate(p));
+        a.tell(oa);
+        b.tell(ob);
+    }
+}
+
+TEST(Genetic, ConvergesOnColorMatchingObjective) {
+    // Mirrors the paper's B=8 setting at N=128: final best distance must
+    // land in Figure 4's end range (roughly <= 15) for typical seeds.
+    sdl::support::OnlineStats finals;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        GeneticConfig config;
+        config.seed = seed;
+        GeneticSolver solver(config);
+        NoisyObjective objective(seed * 13);
+        finals.add(run_loop(solver, objective, 128, 8));
+    }
+    EXPECT_LT(finals.mean(), 15.0);
+    EXPECT_LT(finals.max(), 25.0);
+}
+
+TEST(Genetic, BatchSizeOneStillImproves) {
+    GeneticConfig config;
+    config.seed = 3;
+    GeneticSolver solver(config);
+    NoisyObjective objective(31);
+    const double best = run_loop(solver, objective, 128, 1);
+    EXPECT_LT(best, 15.0);
+}
+
+TEST(Genetic, BeatsRandomSearchOnAverage) {
+    sdl::support::OnlineStats genetic_scores, random_scores;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        GeneticConfig config;
+        config.seed = seed;
+        GeneticSolver genetic(config);
+        NoisyObjective obj_a(seed * 101);
+        genetic_scores.add(run_loop(genetic, obj_a, 96, 8));
+
+        RandomSolver random_solver(4, seed);
+        NoisyObjective obj_b(seed * 101);
+        random_scores.add(run_loop(random_solver, obj_b, 96, 8));
+    }
+    EXPECT_LT(genetic_scores.mean(), random_scores.mean());
+}
+
+// -------------------------------------------------------------------- gp
+
+TEST(GaussianProcess, InterpolatesTrainingPoints) {
+    GaussianProcess gp;
+    std::vector<std::vector<double>> xs{{0.1, 0.1, 0.1, 0.1},
+                                        {0.5, 0.5, 0.5, 0.5},
+                                        {0.9, 0.2, 0.4, 0.7}};
+    std::vector<double> ys{10.0, 3.0, 25.0};
+    gp.fit(xs, ys);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const auto pred = gp.predict(xs[i]);
+        EXPECT_NEAR(pred.mean, ys[i], 2.5) << "point " << i;
+    }
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData) {
+    GaussianProcess gp;
+    std::vector<std::vector<double>> xs{{0.5, 0.5, 0.5, 0.5}};
+    std::vector<double> ys{1.0};
+    gp.fit(xs, ys, /*optimize=*/false);
+    const auto near = gp.predict(std::vector<double>{0.5, 0.5, 0.5, 0.52});
+    const auto far = gp.predict(std::vector<double>{0.95, 0.05, 0.95, 0.05});
+    EXPECT_LT(near.variance, far.variance);
+}
+
+TEST(GaussianProcess, LmlPrefersSensibleLengthscale) {
+    // Data generated from a smooth function: a mid lengthscale must score
+    // at least as well as a pathologically tiny one.
+    Rng rng(17);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 40; ++i) {
+        std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()};
+        ys.push_back(std::sin(3.0 * x[0]) + x[1] * x[1]);
+        xs.push_back(std::move(x));
+    }
+    GaussianProcess gp;
+    gp.fit(xs, ys, /*optimize=*/false);
+    const double lml_mid = gp.log_marginal_likelihood({0.5, 1e-2, 1.0});
+    const double lml_tiny = gp.log_marginal_likelihood({0.01, 1e-2, 1.0});
+    EXPECT_GT(lml_mid, lml_tiny);
+}
+
+TEST(GaussianProcess, FitValidatesShapes) {
+    GaussianProcess gp;
+    EXPECT_THROW(gp.fit({}, {}), sdl::support::LogicError);
+    EXPECT_THROW(gp.fit({{0.1}}, {1.0, 2.0}), sdl::support::LogicError);
+    EXPECT_THROW((void)gp.predict(std::vector<double>{0.1}), sdl::support::LogicError);
+}
+
+// ------------------------------------------------------------------ bayes
+
+TEST(Bayes, ExpectedImprovementProperties) {
+    // Zero variance -> zero EI.
+    EXPECT_DOUBLE_EQ(BayesSolver::expected_improvement(5.0, 0.0, 10.0, 0.0), 0.0);
+    // Mean far below incumbent -> EI near the improvement.
+    EXPECT_NEAR(BayesSolver::expected_improvement(2.0, 1e-6, 10.0, 0.0), 8.0, 1e-3);
+    // Mean far above incumbent with tiny variance -> ~0.
+    EXPECT_NEAR(BayesSolver::expected_improvement(20.0, 1e-6, 10.0, 0.0), 0.0, 1e-9);
+    // Higher variance -> more EI at equal mean.
+    const double low = BayesSolver::expected_improvement(12.0, 0.5, 10.0, 0.0);
+    const double high = BayesSolver::expected_improvement(12.0, 9.0, 10.0, 0.0);
+    EXPECT_GT(high, low);
+    EXPECT_GE(low, 0.0);
+}
+
+TEST(Bayes, WarmupProposalsAreRandomAndValid) {
+    BayesConfig config;
+    config.warmup = 8;
+    BayesSolver solver(config);
+    const auto proposals = solver.ask(8);
+    ASSERT_EQ(proposals.size(), 8u);
+    for (const auto& p : proposals) EXPECT_TRUE(is_valid_proposal(p, 4));
+}
+
+TEST(Bayes, BatchProposalsAreDistinct) {
+    BayesConfig config;
+    config.warmup = 4;
+    config.candidates = 128;
+    BayesSolver solver(config);
+    NoisyObjective objective(23);
+    // Warm up with a few evaluations.
+    auto warm = solver.ask(8);
+    std::vector<Observation> observations;
+    for (const auto& p : warm) observations.push_back(objective.evaluate(p));
+    solver.tell(observations);
+
+    const auto batch = solver.ask(4);
+    ASSERT_EQ(batch.size(), 4u);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_TRUE(is_valid_proposal(batch[i], 4));
+        for (std::size_t j = i + 1; j < batch.size(); ++j) {
+            EXPECT_NE(batch[i], batch[j]) << "constant liar should separate picks";
+        }
+    }
+}
+
+TEST(Bayes, ImprovesOverWarmupOnSmoothObjective) {
+    BayesConfig config;
+    config.warmup = 16;
+    config.seed = 5;
+    BayesSolver solver(config);
+    NoisyObjective objective(47, /*noise=*/1.0);
+
+    double warmup_best = 1e300;
+    auto warm = solver.ask(16);
+    std::vector<Observation> observations;
+    for (const auto& p : warm) {
+        observations.push_back(objective.evaluate(p));
+        warmup_best = std::min(warmup_best, observations.back().score);
+    }
+    solver.tell(observations);
+
+    double model_best = warmup_best;
+    for (int round = 0; round < 10; ++round) {
+        const auto batch = solver.ask(4);
+        std::vector<Observation> obs;
+        for (const auto& p : batch) {
+            obs.push_back(objective.evaluate(p));
+            model_best = std::min(model_best, obs.back().score);
+        }
+        solver.tell(obs);
+    }
+    EXPECT_LT(model_best, warmup_best);
+    EXPECT_LT(model_best, 20.0);
+}
+
+// -------------------------------------------------------------- baselines
+
+TEST(Baselines, GridScansLatticeInOrder) {
+    GridSolver solver(2, 3);
+    const auto first = solver.ask(4);
+    // 3x3 lattice, skipping the all-zero corner: (0.5,0), (1,0), (0,0.5)...
+    EXPECT_EQ(first[0], (std::vector<double>{0.5, 0.0}));
+    EXPECT_EQ(first[1], (std::vector<double>{1.0, 0.0}));
+    EXPECT_EQ(first[2], (std::vector<double>{0.0, 0.5}));
+}
+
+TEST(Baselines, OracleHitsNoiseFloor) {
+    NoisyObjective objective(61);
+    OracleSolver solver(objective.mixer(), kTarget);
+    const double best = run_loop(solver, objective, 16, 4);
+    // Only measurement noise separates the oracle from zero.
+    EXPECT_LT(best, 6.0);
+}
+
+TEST(Baselines, OracleRejectsUnreachableTarget) {
+    const BeerLambertMixer mixer(DyeLibrary::cmyk());
+    EXPECT_THROW(OracleSolver(mixer, Rgb8{255, 0, 0}), sdl::support::ConfigError);
+}
+
+// ---------------------------------------------------------------- factory
+
+TEST(Factory, BuildsEveryRegisteredSolver) {
+    const BeerLambertMixer mixer(DyeLibrary::cmyk());
+    SolverOptions options;
+    options.mixer = &mixer;
+    for (const std::string& name : solver_names()) {
+        const auto solver = make_solver(name, options);
+        ASSERT_NE(solver, nullptr) << name;
+        EXPECT_EQ(solver->name(), name == "bayesian" ? "bayesian" : name);
+        const auto proposals = solver->ask(2);
+        EXPECT_EQ(proposals.size(), 2u) << name;
+    }
+}
+
+TEST(Factory, UnknownNameThrows) {
+    EXPECT_THROW((void)make_solver("simulated_annealing", {}), sdl::support::ConfigError);
+}
+
+TEST(Factory, OracleWithoutMixerThrows) {
+    EXPECT_THROW((void)make_solver("oracle", {}), sdl::support::ConfigError);
+}
+
+// Property sweep: every solver produces valid proposals for varied batch
+// sizes, before and after feedback.
+class SolverContract
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {};
+
+TEST_P(SolverContract, ProposalsAlwaysValid) {
+    const auto& [name, batch] = GetParam();
+    const BeerLambertMixer mixer(DyeLibrary::cmyk());
+    SolverOptions options;
+    options.mixer = &mixer;
+    options.seed = 123;
+    const auto solver = make_solver(name, options);
+    NoisyObjective objective(7);
+
+    for (int round = 0; round < 3; ++round) {
+        const auto proposals = solver->ask(batch);
+        ASSERT_EQ(proposals.size(), batch);
+        std::vector<Observation> observations;
+        for (const auto& p : proposals) {
+            EXPECT_TRUE(is_valid_proposal(p, 4)) << name << " round " << round;
+            observations.push_back(objective.evaluate(p));
+        }
+        solver->tell(observations);
+    }
+    EXPECT_TRUE(solver->best().has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolvers, SolverContract,
+    ::testing::Combine(::testing::Values("genetic", "bayesian", "anneal", "pattern",
+                                         "random", "grid", "oracle"),
+                       ::testing::Values(std::size_t{1}, std::size_t{4}, std::size_t{16})));
+
+// ---------------------------------------------------- anneal & pattern
+
+TEST(Anneal, TemperatureCoolsAcrossGenerations) {
+    AnnealConfig config;
+    config.initial_temperature = 20.0;
+    config.cooling = 0.9;
+    AnnealSolver solver(config);
+    NoisyObjective objective(71);
+    const double t0 = solver.temperature();
+    for (int gen = 0; gen < 5; ++gen) {
+        const auto proposals = solver.ask(4);
+        std::vector<Observation> obs;
+        for (const auto& p : proposals) obs.push_back(objective.evaluate(p));
+        solver.tell(obs);
+    }
+    EXPECT_NEAR(solver.temperature(), t0 * std::pow(0.9, 5), 1e-9);
+}
+
+TEST(Anneal, ConvergesOnColorObjective) {
+    AnnealConfig config;
+    config.seed = 5;
+    AnnealSolver solver(config);
+    NoisyObjective objective(73);
+    const double best = run_loop(solver, objective, 128, 4);
+    EXPECT_LT(best, 15.0);
+}
+
+TEST(Anneal, ProposalsPerturbAroundState) {
+    AnnealConfig config;
+    config.initial_step = 0.1;
+    AnnealSolver solver(config);
+    // Seed a state via tell.
+    Observation obs{{0.5, 0.5, 0.5, 0.5}, {100, 100, 100}, 10.0};
+    solver.tell(std::vector<Observation>{obs});
+    for (const auto& p : solver.ask(8)) {
+        for (std::size_t d = 0; d < 4; ++d) {
+            EXPECT_NEAR(p[d], 0.5, 0.1 + 1e-9);
+        }
+    }
+}
+
+TEST(Pattern, StepShrinksWithoutImprovement) {
+    PatternConfig config;
+    config.initial_step = 0.2;
+    config.shrink = 0.5;
+    PatternSearchSolver solver(config);
+    // Cold start.
+    auto initial = solver.ask(4);
+    std::vector<Observation> obs;
+    for (const auto& p : initial) obs.push_back({p, {0, 0, 0}, 5.0});
+    solver.tell(obs);
+    EXPECT_DOUBLE_EQ(solver.step(), 0.2);
+    // A probe round where nothing improves on the incumbent (score 5).
+    auto probes = solver.ask(8);
+    obs.clear();
+    for (const auto& p : probes) obs.push_back({p, {0, 0, 0}, 50.0});
+    solver.tell(obs);
+    EXPECT_DOUBLE_EQ(solver.step(), 0.1);
+}
+
+TEST(Pattern, ProbesAreAxisAlignedAroundIncumbent) {
+    PatternSearchSolver solver;
+    auto initial = solver.ask(1);
+    std::vector<Observation> obs{{initial[0], {0, 0, 0}, 5.0}};
+    solver.tell(obs);
+    const auto probes = solver.ask(8);
+    for (const auto& p : probes) {
+        // Each compass probe differs from the incumbent in at most one
+        // coordinate (clamping can null a move at the boundary).
+        int changed = 0;
+        for (std::size_t d = 0; d < 4; ++d) {
+            if (std::fabs(p[d] - initial[0][d]) > 1e-12) ++changed;
+        }
+        EXPECT_LE(changed, 1);
+    }
+}
+
+TEST(Pattern, ConvergesOnColorObjective) {
+    PatternConfig config;
+    config.seed = 7;
+    PatternSearchSolver solver(config);
+    NoisyObjective objective(79);
+    const double best = run_loop(solver, objective, 128, 8);
+    EXPECT_LT(best, 15.0);
+}

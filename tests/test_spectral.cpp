@@ -1,0 +1,150 @@
+// Tests for the spectral color model (banded spectra, CIE integration,
+// spectral Beer–Lambert mixing).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "color/spectral.hpp"
+#include "support/common.hpp"
+
+using namespace sdl::color;
+
+TEST(Spectral, BandWavelengthsSpanVisibleRange) {
+    EXPECT_DOUBLE_EQ(band_wavelength(0), 400.0);
+    EXPECT_DOUBLE_EQ(band_wavelength(kSpectralBands - 1), 700.0);
+    for (std::size_t i = 1; i < kSpectralBands; ++i) {
+        EXPECT_GT(band_wavelength(i), band_wavelength(i - 1));
+    }
+}
+
+TEST(Spectral, CmfsPeakNearExpectedWavelengths) {
+    // y_bar peaks near 555 nm, x_bar's main lobe near 600, z_bar near 445.
+    auto argmax = [](const Spectrum& s) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < kSpectralBands; ++i) {
+            if (s[i] > s[best]) best = i;
+        }
+        return band_wavelength(best);
+    };
+    EXPECT_NEAR(argmax(cie_y_bar()), 555.0, 25.0);
+    EXPECT_NEAR(argmax(cie_x_bar()), 600.0, 25.0);
+    EXPECT_NEAR(argmax(cie_z_bar()), 445.0, 25.0);
+    // All non-negative except x_bar's small negative fit lobe.
+    for (std::size_t i = 0; i < kSpectralBands; ++i) {
+        EXPECT_GE(cie_y_bar()[i], 0.0);
+        EXPECT_GE(cie_z_bar()[i], -1e-9);
+    }
+}
+
+TEST(Spectral, GaussianBandShape) {
+    const Spectrum s = Spectrum::gaussian_band(550.0, 30.0, 2.0);
+    std::size_t peak = 0;
+    for (std::size_t i = 1; i < kSpectralBands; ++i) {
+        if (s[i] > s[peak]) peak = i;
+    }
+    EXPECT_NEAR(band_wavelength(peak), 550.0, 15.0);
+    // The 20 nm band grid does not land exactly on the 550 nm center.
+    EXPECT_NEAR(s[peak], 2.0, 0.15);
+    EXPECT_LT(s[0], 0.01);  // far tail
+}
+
+TEST(Spectral, EmptyWellIsWhite) {
+    const SpectralMixer mixer = SpectralMixer::cmyk_flat();
+    const std::vector<double> none{0, 0, 0, 0};
+    const Rgb8 c = mixer.mix_ratios(none);
+    // A flat spectrum through the CIE integration is near-white (it is
+    // not exactly D65, so allow a mild cast).
+    EXPECT_GT(c.r, 230);
+    EXPECT_GT(c.g, 230);
+    EXPECT_GT(c.b, 230);
+}
+
+TEST(Spectral, DyesProduceTheirHues) {
+    const SpectralMixer mixer = SpectralMixer::cmyk_flat();
+    const Rgb8 cyan = mixer.mix_ratios(std::vector<double>{1, 0, 0, 0});
+    EXPECT_LT(cyan.r, cyan.g);
+    EXPECT_LT(cyan.r, cyan.b);
+    const Rgb8 magenta = mixer.mix_ratios(std::vector<double>{0, 1, 0, 0});
+    EXPECT_LT(magenta.g, magenta.r);
+    EXPECT_LT(magenta.g, magenta.b);
+    const Rgb8 yellow = mixer.mix_ratios(std::vector<double>{0, 0, 1, 0});
+    EXPECT_LT(yellow.b, yellow.r);
+    EXPECT_LT(yellow.b, yellow.g);
+    const Rgb8 black = mixer.mix_ratios(std::vector<double>{0, 0, 0, 1});
+    EXPECT_LT(black.r, 70);
+    EXPECT_LT(black.g, 70);
+    EXPECT_LT(black.b, 70);
+}
+
+TEST(Spectral, RatioScaleInvariance) {
+    const SpectralMixer mixer = SpectralMixer::cmyk_flat();
+    const std::vector<double> a{0.2, 0.3, 0.1, 0.4};
+    const std::vector<double> b{0.4, 0.6, 0.2, 0.8};
+    EXPECT_EQ(mixer.mix_ratios(a), mixer.mix_ratios(b));
+}
+
+TEST(Spectral, MoreBlackIsDarker) {
+    const SpectralMixer mixer = SpectralMixer::cmyk_flat();
+    int prev = 3 * 255 + 1;
+    for (double k = 0.0; k <= 1.0; k += 0.2) {
+        const std::vector<double> ratios{(1 - k) / 3, (1 - k) / 3, (1 - k) / 3, k};
+        const Rgb8 c = mixer.mix_ratios(ratios);
+        const int sum = c.r + c.g + c.b;
+        EXPECT_LE(sum, prev);
+        prev = sum;
+    }
+}
+
+TEST(Spectral, TransmittedSpectrumRespectsAbsorptionBands) {
+    const SpectralMixer mixer = SpectralMixer::cmyk_flat();
+    // Pure cyan: long wavelengths (red, ~650 nm) attenuated far more than
+    // short (blue, ~450 nm).
+    const Spectrum t = mixer.transmitted(std::vector<double>{1, 0, 0, 0});
+    double red_band = 1.0, blue_band = 1.0;
+    for (std::size_t i = 0; i < kSpectralBands; ++i) {
+        if (std::fabs(band_wavelength(i) - 650.0) < 15.0) red_band = t[i];
+        if (std::fabs(band_wavelength(i) - 450.0) < 15.0) blue_band = t[i];
+    }
+    EXPECT_LT(red_band, 0.3 * blue_band);
+}
+
+TEST(Spectral, AgreesQualitativelyWithRgbMixer) {
+    // Both chemistries must order grays the same way: increasing black
+    // fraction darkens, and equal-CMY mixtures stay near-neutral.
+    const SpectralMixer spectral = SpectralMixer::cmyk_flat();
+    const std::vector<double> neutral{0.25, 0.25, 0.25, 0.25};
+    const Rgb8 c = spectral.mix_ratios(neutral);
+    const int spread = std::max({c.r, c.g, c.b}) - std::min({c.r, c.g, c.b});
+    EXPECT_LT(spread, 45);  // near-neutral
+}
+
+TEST(Spectral, ValidationErrors) {
+    const SpectralMixer mixer = SpectralMixer::cmyk_flat();
+    const std::vector<double> wrong_size{0.5, 0.5};
+    EXPECT_THROW((void)mixer.mix_ratios(wrong_size), sdl::support::LogicError);
+    const std::vector<double> negative{-0.1, 0.4, 0.4, 0.3};
+    EXPECT_THROW((void)mixer.mix_ratios(negative), sdl::support::LogicError);
+}
+
+TEST(Spectral, MetamerismIsPossible) {
+    // Two different spectra can integrate to (nearly) the same XYZ: a
+    // flat gray transmission vs a spiky one. This is the physical effect
+    // an RGB-only chemistry cannot represent.
+    Spectrum flat(0.5);
+    Spectrum spiky(0.0);
+    // Three spikes roughly balancing the CMF lobes.
+    for (std::size_t i = 0; i < kSpectralBands; ++i) {
+        const double lambda = band_wavelength(i);
+        if (std::fabs(lambda - 450) < 12 || std::fabs(lambda - 550) < 12 ||
+            std::fabs(lambda - 610) < 12) {
+            spiky[i] = 0.9;
+        }
+    }
+    const Xyz a = spectrum_to_xyz(flat);
+    const Xyz b = spectrum_to_xyz(spiky);
+    // Luminances comparable while the spectra are wildly different.
+    EXPECT_NEAR(b.y / a.y, 1.0, 0.35);
+    double l1 = 0.0;
+    for (std::size_t i = 0; i < kSpectralBands; ++i) l1 += std::fabs(flat[i] - spiky[i]);
+    EXPECT_GT(l1, 4.0);
+}

@@ -1,0 +1,311 @@
+// Tests for support utilities: RNG, units, thread pool, channel, stats,
+// tables, CSV, error helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "support/channel.hpp"
+#include "support/common.hpp"
+#include "support/csv.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+#include "support/units.hpp"
+
+using namespace sdl::support;
+
+// ----------------------------------------------------------------- common
+
+TEST(Common, CheckThrowsOnViolation) {
+    EXPECT_NO_THROW(check(true, "fine"));
+    EXPECT_THROW(check(false, "boom"), LogicError);
+}
+
+TEST(Common, NarrowDetectsLoss) {
+    EXPECT_EQ(narrow<std::uint8_t>(200), 200);
+    EXPECT_THROW((void)narrow<std::uint8_t>(300), LogicError);
+    EXPECT_THROW((void)narrow<std::uint8_t>(-1), LogicError);
+    EXPECT_EQ(narrow<int>(std::int64_t{123}), 123);
+}
+
+TEST(Common, ApproxEqual) {
+    EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(approx_equal(1.0, 1.1));
+    EXPECT_TRUE(approx_equal(1e12, 1e12 * (1 + 1e-12)));
+}
+
+// ------------------------------------------------------------------ units
+
+TEST(Units, DurationArithmetic) {
+    const Duration d = Duration::hours(8) + Duration::minutes(12);
+    EXPECT_DOUBLE_EQ(d.to_seconds(), 29520.0);
+    EXPECT_DOUBLE_EQ(d.to_minutes(), 492.0);
+    EXPECT_DOUBLE_EQ((d / 2.0).to_minutes(), 246.0);
+    EXPECT_DOUBLE_EQ(d / Duration::minutes(1), 492.0);
+}
+
+TEST(Units, DurationPrettyMatchesPaperStyle) {
+    EXPECT_EQ((Duration::hours(8) + Duration::minutes(12)).pretty(), "8 h 12 m");
+    EXPECT_EQ((Duration::minutes(3) + Duration::seconds(48)).pretty(), "3 m 48 s");
+    EXPECT_EQ(Duration::seconds(42.65).pretty(), "42.6 s");
+    EXPECT_EQ((Duration::hours(5) + Duration::minutes(10)).pretty(), "5 h 10 m");
+}
+
+TEST(Units, TimePointDifference) {
+    const TimePoint a = TimePoint::from_seconds(100);
+    const TimePoint b = a + Duration::seconds(30);
+    EXPECT_DOUBLE_EQ((b - a).to_seconds(), 30.0);
+    EXPECT_LT(a, b);
+}
+
+TEST(Units, VolumeConversions) {
+    const Volume v = Volume::milliliters(1.5);
+    EXPECT_DOUBLE_EQ(v.to_microliters(), 1500.0);
+    EXPECT_EQ((Volume::microliters(40) + Volume::microliters(2)).pretty(), "42.0 uL");
+    EXPECT_EQ(Volume::milliliters(2).pretty(), "2.00 mL");
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForEqualSeeds) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(std::uint64_t{6});
+        EXPECT_LT(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 6u);  // all faces observed
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(std::int64_t{-3}, std::int64_t{3});
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+    Rng rng(11);
+    OnlineStats stats;
+    for (int i = 0; i < 50000; ++i) stats.add(rng.normal());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng rng(17);
+    OnlineStats stats;
+    for (int i = 0; i < 50000; ++i) stats.add(rng.exponential(3.0));
+    EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+    Rng rng(19);
+    const auto perm = rng.permutation(50);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 50u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+    Rng parent(23);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (parent.next() == child.next());
+    EXPECT_LT(same, 2);
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, SubmitReturnsResults) {
+    ThreadPool pool(4);
+    auto f1 = pool.submit([] { return 21 * 2; });
+    auto f2 = pool.submit([] { return std::string("ok"); });
+    EXPECT_EQ(f1.get(), 42);
+    EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+    ThreadPool pool(2);
+    auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [&](std::size_t i) {
+                                       if (i == 37) throw std::runtime_error("x");
+                                   }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelMapPreservesOrder) {
+    ThreadPool pool(4);
+    const auto out = pool.parallel_map(64, [](std::size_t i) { return i * i; });
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ParallelForWorksWithMoreTasksThanThreads) {
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    pool.parallel_for(256, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 256);
+}
+
+// ---------------------------------------------------------------- channel
+
+TEST(Channel, SendReceiveInOrder) {
+    Channel<int> ch;
+    ch.send(1);
+    ch.send(2);
+    ch.send(3);
+    EXPECT_EQ(ch.receive(), 1);
+    EXPECT_EQ(ch.receive(), 2);
+    EXPECT_EQ(ch.receive(), 3);
+}
+
+TEST(Channel, CloseDrainsThenSignals) {
+    Channel<int> ch;
+    ch.send(7);
+    ch.close();
+    EXPECT_FALSE(ch.send(8));
+    EXPECT_EQ(ch.receive(), 7);
+    EXPECT_EQ(ch.receive(), std::nullopt);
+}
+
+TEST(Channel, TryOperations) {
+    Channel<int> ch(2);
+    EXPECT_TRUE(ch.try_send(1));
+    EXPECT_TRUE(ch.try_send(2));
+    EXPECT_FALSE(ch.try_send(3));  // full
+    EXPECT_EQ(ch.try_receive(), 1);
+    EXPECT_TRUE(ch.try_send(3));
+    EXPECT_EQ(ch.try_receive(), 2);
+    EXPECT_EQ(ch.try_receive(), 3);
+    EXPECT_EQ(ch.try_receive(), std::nullopt);
+}
+
+TEST(Channel, CrossThreadTransfer) {
+    Channel<int> ch;
+    std::thread producer([&] {
+        for (int i = 0; i < 100; ++i) ch.send(i);
+        ch.close();
+    });
+    int expected = 0;
+    while (auto v = ch.receive()) {
+        EXPECT_EQ(*v, expected++);
+    }
+    EXPECT_EQ(expected, 100);
+    producer.join();
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(Stats, OnlineMatchesBatch) {
+    const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8};
+    OnlineStats online;
+    for (double x : xs) online.add(x);
+    EXPECT_DOUBLE_EQ(online.mean(), mean(xs));
+    EXPECT_NEAR(online.stddev(), stddev(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(online.min(), 1.0);
+    EXPECT_DOUBLE_EQ(online.max(), 8.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+    const std::vector<double> xs{10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+    EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, RendersAlignedColumns) {
+    TextTable t({"Metric", "Value"});
+    t.set_alignment({TextTable::Align::Left, TextTable::Align::Right});
+    t.add_row({"Time without humans", "8 h 12 m"});
+    t.add_row({"Total colors mixed", "128"});
+    const std::string out = t.str();
+    EXPECT_NE(out.find("Metric"), std::string::npos);
+    EXPECT_NE(out.find("8 h 12 m"), std::string::npos);
+    // Header rule present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+    // Right-aligned numeric column: "128" ends its line.
+    EXPECT_NE(out.find("     128\n"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only one"}), LogicError);
+}
+
+TEST(Table, FmtDouble) {
+    EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+// -------------------------------------------------------------------- csv
+
+TEST(Csv, WritesQuotedCells) {
+    CsvWriter csv({"name", "value"});
+    csv.add_row(std::vector<std::string>{"plain", "1"});
+    csv.add_row(std::vector<std::string>{"with,comma", "quote\"inside"});
+    const std::string& out = csv.str();
+    EXPECT_NE(out.find("name,value\n"), std::string::npos);
+    EXPECT_NE(out.find("\"with,comma\",\"quote\"\"inside\"\n"), std::string::npos);
+    EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(Csv, NumericRows) {
+    CsvWriter csv({"x", "y"});
+    csv.add_row(std::vector<double>{1.5, 2.0});
+    EXPECT_NE(csv.str().find("1.5,2\n"), std::string::npos);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+    CsvWriter csv({"a", "b"});
+    EXPECT_THROW(csv.add_row(std::vector<std::string>{"x"}), LogicError);
+}

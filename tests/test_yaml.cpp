@@ -1,0 +1,199 @@
+// Tests for the YAML-subset parser against WEI-style config documents.
+#include <gtest/gtest.h>
+
+#include "support/common.hpp"
+#include "support/yaml.hpp"
+
+namespace yaml = sdl::support::yaml;
+namespace json = sdl::support::json;
+using sdl::support::ParseError;
+
+TEST(Yaml, ParsesSimpleMapping) {
+    const json::Value v = yaml::parse("name: rpl_workcell\nversion: 2\nactive: true\n");
+    EXPECT_EQ(v.at("name").as_string(), "rpl_workcell");
+    EXPECT_EQ(v.at("version").as_int(), 2);
+    EXPECT_TRUE(v.at("active").as_bool());
+}
+
+TEST(Yaml, ParsesNestedMapping) {
+    const json::Value v = yaml::parse(
+        "config:\n"
+        "  towers: 4\n"
+        "  exchange:\n"
+        "    x: 10.5\n"
+        "    y: -3.0\n");
+    EXPECT_EQ(v.at("config").at("towers").as_int(), 4);
+    EXPECT_DOUBLE_EQ(v.at("config").at("exchange").at("x").as_double(), 10.5);
+    EXPECT_DOUBLE_EQ(v.at("config").at("exchange").at("y").as_double(), -3.0);
+}
+
+TEST(Yaml, ParsesBlockSequence) {
+    const json::Value v = yaml::parse("- alpha\n- 2\n- true\n- 3.5\n");
+    const auto& arr = v.as_array();
+    ASSERT_EQ(arr.size(), 4u);
+    EXPECT_EQ(arr[0].as_string(), "alpha");
+    EXPECT_EQ(arr[1].as_int(), 2);
+    EXPECT_TRUE(arr[2].as_bool());
+    EXPECT_DOUBLE_EQ(arr[3].as_double(), 3.5);
+}
+
+TEST(Yaml, ParsesSequenceOfMappings) {
+    // The shape of a WEI workflow's step list.
+    const json::Value v = yaml::parse(
+        "steps:\n"
+        "  - module: pf400\n"
+        "    action: transfer\n"
+        "    args: {source: camera, target: ot2}\n"
+        "  - module: ot2\n"
+        "    action: run_protocol\n"
+        "    args:\n"
+        "      protocol: mix_colors\n");
+    const auto& steps = v.at("steps").as_array();
+    ASSERT_EQ(steps.size(), 2u);
+    EXPECT_EQ(steps[0].at("module").as_string(), "pf400");
+    EXPECT_EQ(steps[0].at("args").at("source").as_string(), "camera");
+    EXPECT_EQ(steps[1].at("args").at("protocol").as_string(), "mix_colors");
+}
+
+TEST(Yaml, SequenceAtSameIndentAsKey) {
+    const json::Value v = yaml::parse(
+        "modules:\n"
+        "- name: sciclops\n"
+        "- name: pf400\n");
+    ASSERT_EQ(v.at("modules").as_array().size(), 2u);
+    EXPECT_EQ(v.at("modules").as_array()[1].at("name").as_string(), "pf400");
+}
+
+TEST(Yaml, FlowStyles) {
+    const json::Value v = yaml::parse(
+        "position: [310.0, 20.0, 45]\n"
+        "meta: {id: 7, label: \"plate nest\", nested: [1, 2]}\n");
+    EXPECT_EQ(v.at("position").as_array().size(), 3u);
+    EXPECT_DOUBLE_EQ(v.at("position").as_array()[0].as_double(), 310.0);
+    EXPECT_EQ(v.at("meta").at("id").as_int(), 7);
+    EXPECT_EQ(v.at("meta").at("label").as_string(), "plate nest");
+    EXPECT_EQ(v.at("meta").at("nested").as_array()[1].as_int(), 2);
+}
+
+TEST(Yaml, CommentsAndBlankLines) {
+    const json::Value v = yaml::parse(
+        "# workcell definition\n"
+        "\n"
+        "name: rpl   # the Rapid Prototyping Lab\n"
+        "\n"
+        "count: 10\n");
+    EXPECT_EQ(v.at("name").as_string(), "rpl");
+    EXPECT_EQ(v.at("count").as_int(), 10);
+}
+
+TEST(Yaml, HashInsideQuotesIsNotAComment) {
+    const json::Value v = yaml::parse("color: \"#787878\"\n");
+    EXPECT_EQ(v.at("color").as_string(), "#787878");
+}
+
+TEST(Yaml, QuotedStrings) {
+    const json::Value v = yaml::parse(
+        "single: 'it''s quoted'\n"
+        "double: \"tab\\there\"\n"
+        "plain: just words with spaces\n");
+    EXPECT_EQ(v.at("single").as_string(), "it's quoted");
+    EXPECT_EQ(v.at("double").as_string(), "tab\there");
+    EXPECT_EQ(v.at("plain").as_string(), "just words with spaces");
+}
+
+TEST(Yaml, NullValues) {
+    const json::Value v = yaml::parse("a: ~\nb: null\nc:\nd: 1\n");
+    EXPECT_TRUE(v.at("a").is_null());
+    EXPECT_TRUE(v.at("b").is_null());
+    EXPECT_TRUE(v.at("c").is_null());
+    EXPECT_EQ(v.at("d").as_int(), 1);
+}
+
+TEST(Yaml, EmptyDocumentIsNull) {
+    EXPECT_TRUE(yaml::parse("").is_null());
+    EXPECT_TRUE(yaml::parse("# only a comment\n").is_null());
+}
+
+TEST(Yaml, DocumentStartMarkerIgnored) {
+    const json::Value v = yaml::parse("---\nkey: value\n");
+    EXPECT_EQ(v.at("key").as_string(), "value");
+}
+
+TEST(Yaml, NestedSequencesViaDashOnOwnLine) {
+    const json::Value v = yaml::parse(
+        "-\n"
+        "  - 1\n"
+        "  - 2\n"
+        "-\n"
+        "  - 3\n");
+    const auto& arr = v.as_array();
+    ASSERT_EQ(arr.size(), 2u);
+    EXPECT_EQ(arr[0].as_array()[1].as_int(), 2);
+    EXPECT_EQ(arr[1].as_array()[0].as_int(), 3);
+}
+
+TEST(Yaml, RejectsTabs) {
+    EXPECT_THROW(yaml::parse("a:\n\tb: 1\n"), ParseError);
+}
+
+TEST(Yaml, RejectsDuplicateKeys) {
+    EXPECT_THROW(yaml::parse("a: 1\na: 2\n"), ParseError);
+}
+
+TEST(Yaml, RejectsUnsupportedFeatures) {
+    EXPECT_THROW(yaml::parse("a: &anchor 1\n"), ParseError);
+    EXPECT_THROW(yaml::parse("a: *ref\n"), ParseError);
+    EXPECT_THROW(yaml::parse("a: !tag x\n"), ParseError);
+    EXPECT_THROW(yaml::parse("a: |\n  block\n"), ParseError);
+}
+
+TEST(Yaml, RejectsBadIndentation) {
+    EXPECT_THROW(yaml::parse("a: 1\n   stray\n"), ParseError);
+}
+
+TEST(Yaml, NegativeAndScientificNumbers) {
+    const json::Value v = yaml::parse("a: -12\nb: -1.5e-3\nc: +3\n");
+    EXPECT_EQ(v.at("a").as_int(), -12);
+    EXPECT_DOUBLE_EQ(v.at("b").as_double(), -0.0015);
+    EXPECT_EQ(v.at("c").as_int(), 3);
+}
+
+TEST(Yaml, PlainScalarsWithInnerColonStayStrings) {
+    // A colon not followed by space does not split a key.
+    const json::Value v = yaml::parse("url: https://acdc.alcf.anl.gov\n");
+    EXPECT_EQ(v.at("url").as_string(), "https://acdc.alcf.anl.gov");
+}
+
+TEST(Yaml, DumpParsesBackToSameDocument) {
+    const char* doc =
+        "name: color_picker\n"
+        "modules:\n"
+        "  - name: sciclops\n"
+        "    actions: [get_plate, status]\n"
+        "  - name: ot2\n"
+        "    config:\n"
+        "      reservoirs: 4\n"
+        "target: [120, 120, 120]\n"
+        "threshold: 5.5\n";
+    const json::Value v = yaml::parse(doc);
+    const json::Value round = yaml::parse(yaml::dump(v));
+    EXPECT_EQ(round, v);
+}
+
+// Property sweep: dump/parse round-trips across varied document shapes.
+class YamlRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(YamlRoundTrip, DumpThenParseIsIdentity) {
+    const json::Value v = yaml::parse(GetParam());
+    EXPECT_EQ(yaml::parse(yaml::dump(v)), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Docs, YamlRoundTrip,
+    ::testing::Values("a: 1\n",                                      //
+                      "- 1\n- 2\n",                                  //
+                      "a:\n  b:\n    c: deep\n",                     //
+                      "list:\n  - x: 1\n    y: [1, 2, {z: 3}]\n",    //
+                      "s: \"needs: quoting\"\n",                     //
+                      "empty_map: {}\nempty_list: []\n",             //
+                      "mixed:\n  - plain\n  - 3.25\n  - false\n"));
