@@ -1,0 +1,32 @@
+# ctest -P helper: run SMOKE_BINARY [SMOKE_ARGS], fail on nonzero exit,
+# and when SMOKE_EXPECT is set require it as a substring of the output.
+if(NOT DEFINED SMOKE_BINARY)
+  message(FATAL_ERROR "smoke_runner.cmake: SMOKE_BINARY not set")
+endif()
+
+set(args)
+if(DEFINED SMOKE_ARGS)
+  separate_arguments(args NATIVE_COMMAND "${SMOKE_ARGS}")
+endif()
+
+execute_process(
+  COMMAND "${SMOKE_BINARY}" ${args}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc
+)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "smoke: ${SMOKE_BINARY} ${SMOKE_ARGS} exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+if(DEFINED SMOKE_EXPECT)
+  string(FIND "${out}${err}" "${SMOKE_EXPECT}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "smoke: output of ${SMOKE_BINARY} does not contain \"${SMOKE_EXPECT}\"\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+endif()
+
+message(STATUS "smoke: ${SMOKE_BINARY} ${SMOKE_ARGS} OK")

@@ -1,10 +1,11 @@
 // sdlbench_run — command-line driver for color-picker experiments.
 //
 //   sdlbench_run <experiment.yaml> [output_dir]
+//   sdlbench_run --preset <name> [output_dir]
 //
-// Loads a declarative experiment file (see configs/experiment_*.yaml),
-// runs it on the simulated workcell, prints the SDL metrics, and writes
-// to the output directory (default "sdlbench_out"):
+// Loads a declarative experiment file (or one of the paper-calibrated
+// presets), runs it on the simulated workcell, prints the SDL metrics,
+// and writes to the output directory (default "sdlbench_out"):
 //   series.csv        — per-sample (index, elapsed, score, best) series
 //   portal.json       — the full published data portal
 //   metrics.txt       — the Table-1-style metrics report
@@ -13,6 +14,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/config_io.hpp"
 #include "core/presets.hpp"
@@ -23,19 +27,89 @@
 
 using namespace sdl;
 
+namespace {
+
+#ifndef SDLBENCH_VERSION
+#define SDLBENCH_VERSION "unknown"
+#endif
+constexpr const char* kVersion = SDLBENCH_VERSION;
+
+void print_usage(std::FILE* stream) {
+    std::fprintf(stream,
+                 "sdlbench_run — closed-loop color-matching experiment driver\n"
+                 "\n"
+                 "usage: sdlbench_run <experiment.yaml> [output_dir]\n"
+                 "       sdlbench_run --preset <name> [output_dir]\n"
+                 "\n"
+                 "options:\n"
+                 "  -h, --help       show this help and exit\n"
+                 "  --version        print version and exit\n"
+                 "  --preset <name>  run a paper-calibrated preset instead of a\n"
+                 "                   YAML file; names: quickstart, table1,\n"
+                 "                   table1_96well, fig3_portal\n"
+                 "\n"
+                 "Outputs series.csv, portal.json, metrics.txt, config.yaml and\n"
+                 "per-workflow artifacts to [output_dir] (default sdlbench_out).\n");
+}
+
+core::ColorPickerConfig preset_by_name(const std::string& name) {
+    if (name == "quickstart") return core::preset_quickstart();
+    if (name == "table1") return core::preset_table1();
+    if (name == "table1_96well") return core::preset_table1_96well();
+    if (name == "fig3_portal") return core::preset_fig3_portal();
+    throw std::runtime_error("unknown preset '" + name +
+                             "' (expected quickstart, table1, table1_96well, fig3_portal)");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-    if (argc < 2 || argc > 3) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (const auto& a : args) {
+        if (a == "-h" || a == "--help") {
+            print_usage(stdout);
+            return 0;
+        }
+        if (a == "--version") {
+            std::printf("sdlbench_run %s\n", kVersion);
+            return 0;
+        }
+    }
+
+    std::string preset;
+    for (auto it = args.begin(); it != args.end();) {
+        if (*it == "--preset") {
+            if (std::next(it) == args.end()) {
+                std::fprintf(stderr, "error: --preset requires a name\n");
+                return 2;
+            }
+            preset = *std::next(it);
+            it = args.erase(it, std::next(it, 2));
+        } else {
+            ++it;
+        }
+    }
+
+    if ((args.empty() && preset.empty()) || args.size() > (preset.empty() ? 2u : 1u)) {
+        print_usage(stderr);
+        return 2;
+    }
+    if (!preset.empty() && !args.empty() &&
+        (args[0].ends_with(".yaml") || args[0].ends_with(".yml"))) {
         std::fprintf(stderr,
-                     "usage: %s <experiment.yaml> [output_dir]\n"
-                     "       (see configs/experiment_quickstart.yaml for the format)\n",
-                     argv[0]);
+                     "error: got both --preset %s and experiment file '%s' — pass one "
+                     "or the other\n",
+                     preset.c_str(), args[0].c_str());
         return 2;
     }
     support::set_log_level(support::LogLevel::Warn);
-    const std::string out_dir = argc == 3 ? argv[2] : "sdlbench_out";
+    const std::size_t out_dir_index = preset.empty() ? 1 : 0;
+    const std::string out_dir =
+        args.size() > out_dir_index ? args[out_dir_index] : "sdlbench_out";
 
     try {
-        const core::ColorPickerConfig config = core::config_from_file(argv[1]);
+        const core::ColorPickerConfig config =
+            preset.empty() ? core::config_from_file(args[0]) : preset_by_name(preset);
         std::printf("Experiment: target %s | N=%d | B=%d | solver=%s | seed=%llu\n",
                     config.target.str().c_str(), config.total_samples, config.batch_size,
                     config.solver.c_str(),
