@@ -1,0 +1,115 @@
+// Campaign harness benchmark: the full Figure-4 grid in one invocation.
+//
+// Expands the seven-batch-size campaign (N=128 toward rgb(120,120,120),
+// B = 1, 2, 4, 8, 16, 32, 64) through the campaign layer, runs it on the
+// thread pool, prints the per-cell summary, and writes
+// BENCH_campaign.json: host wall time plus modeled (simulated) time per
+// cell — the repo's perf trajectory file, collected as a CI artifact.
+//
+//   bench_campaign [--quick]   # --quick: 2-cell smoke grid for CI debug
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "core/presets.hpp"
+#include "support/json.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+using namespace sdl;
+
+namespace {
+
+campaign::CampaignSpec fig4_grid() {
+    campaign::CampaignSpec spec;
+    spec.name = "fig4_grid";
+    spec.base = core::preset_fig4(/*batch_size=*/1, /*seed=*/100);
+    spec.axes.batch_sizes = {1, 2, 4, 8, 16, 32, 64};
+    spec.base_seed = 100;
+    spec.seed_mode = campaign::SeedMode::PerCell;
+    return spec;
+}
+
+campaign::CampaignSpec quick_grid() {
+    campaign::CampaignSpec spec = fig4_grid();
+    spec.name = "fig4_quick";
+    spec.base.total_samples = 16;
+    spec.axes.batch_sizes = {2, 8};
+    return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    support::set_log_level(support::LogLevel::Error);
+    const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    const campaign::CampaignSpec spec = quick ? quick_grid() : fig4_grid();
+
+    std::printf("================================================================\n");
+    std::printf("Campaign bench — %s: %zu cells, N=%d, target rgb(120,120,120)\n",
+                spec.name.c_str(), campaign::cell_count(spec), spec.base.total_samples);
+    std::printf("================================================================\n");
+
+    const auto started = std::chrono::steady_clock::now();
+    const auto results = campaign::CampaignRunner().run(spec);
+    const double total_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+
+    support::TextTable table({"B", "Seed", "Final best", "Modeled time", "Wall time",
+                              "Speedup"});
+    table.set_alignment({support::TextTable::Align::Right, support::TextTable::Align::Right,
+                         support::TextTable::Align::Right, support::TextTable::Align::Right,
+                         support::TextTable::Align::Right,
+                         support::TextTable::Align::Right});
+    double modeled_minutes_sum = 0.0;
+    for (const campaign::CellResult& result : results) {
+        const double modeled_min = result.outcome.metrics.total_time.to_minutes();
+        modeled_minutes_sum += modeled_min;
+        const double speedup =
+            result.wall_seconds > 0.0 ? modeled_min * 60.0 / result.wall_seconds : 0.0;
+        table.add_row({std::to_string(result.cell.batch_size),
+                       std::to_string(result.cell.config.seed),
+                       support::fmt_double(result.outcome.best_score, 2),
+                       result.outcome.metrics.total_time.pretty(),
+                       support::fmt_double(result.wall_seconds, 2) + " s",
+                       support::fmt_double(speedup, 0) + "x"});
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("\n%zu cells: %.1f modeled lab-hours simulated in %.1f wall-seconds.\n",
+                results.size(), modeled_minutes_sum / 60.0, total_wall_seconds);
+
+    // The perf trajectory file (uploaded as a CI artifact).
+    support::json::Value bench = support::json::Value::object();
+    bench.set("schema", "sdlbench.bench_campaign.v1");
+    bench.set("campaign", spec.name);
+    bench.set("cells", static_cast<std::int64_t>(results.size()));
+    bench.set("total_wall_seconds", total_wall_seconds);
+    bench.set("modeled_minutes_total", modeled_minutes_sum);
+    support::json::Value cells = support::json::Value::array();
+    for (const campaign::CellResult& result : results) {
+        support::json::Value cell = support::json::Value::object();
+        cell.set("solver", result.cell.solver);
+        cell.set("batch_size", result.cell.batch_size);
+        cell.set("seed", static_cast<std::int64_t>(result.cell.config.seed));
+        cell.set("samples", static_cast<std::int64_t>(result.outcome.samples.size()));
+        cell.set("best_score", result.outcome.best_score);
+        cell.set("wall_seconds", result.wall_seconds);
+        cell.set("modeled_minutes", result.outcome.metrics.total_time.to_minutes());
+        cells.push_back(std::move(cell));
+    }
+    bench.set("cells_detail", std::move(cells));
+    {
+        std::ofstream out("BENCH_campaign.json", std::ios::binary);
+        out << bench.pretty() << "\n";
+        if (!out) {
+            std::fprintf(stderr, "error: failed to write BENCH_campaign.json\n");
+            return 1;
+        }
+    }
+    std::printf("Wrote BENCH_campaign.json\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+#include "campaign/campaign.hpp"
+
+#include "core/config_io.hpp"
+#include "support/common.hpp"
+
+namespace sdl::campaign {
+
+CampaignSpec normalize(CampaignSpec spec) {
+    if (spec.replicates < 1) {
+        throw support::ConfigError("campaign replicates must be >= 1");
+    }
+    if (spec.axes.solvers.empty()) spec.axes.solvers = {spec.base.solver};
+    if (spec.axes.batch_sizes.empty()) spec.axes.batch_sizes = {spec.base.batch_size};
+    if (spec.axes.objectives.empty()) spec.axes.objectives = {spec.base.objective};
+    if (spec.axes.targets.empty()) spec.axes.targets = {spec.base.target};
+    return spec;
+}
+
+std::size_t cell_count(const CampaignSpec& spec) {
+    const CampaignSpec n = normalize(spec);
+    return n.axes.solvers.size() * n.axes.batch_sizes.size() * n.axes.objectives.size() *
+           n.axes.targets.size() * static_cast<std::size_t>(n.replicates);
+}
+
+std::uint64_t cell_seed(const CampaignSpec& spec, std::size_t index, int replicate) {
+    switch (spec.seed_mode) {
+        case SeedMode::PerCell: return spec.base_seed + index;
+        case SeedMode::PerReplicate:
+            return spec.base_seed + static_cast<std::uint64_t>(replicate);
+    }
+    return spec.base_seed;
+}
+
+namespace {
+
+std::string cell_experiment_id(const CampaignSpec& spec, const CampaignCell& cell) {
+    return spec.name + "_" + cell.solver + "_B" + std::to_string(cell.batch_size) + "_" +
+           core::objective_to_string(cell.objective) + "_t" +
+           std::to_string(cell.target.r) + "-" + std::to_string(cell.target.g) + "-" +
+           std::to_string(cell.target.b) + "_r" + std::to_string(cell.replicate);
+}
+
+}  // namespace
+
+std::vector<CampaignCell> expand_grid(const CampaignSpec& raw) {
+    const CampaignSpec spec = normalize(raw);
+    std::vector<CampaignCell> cells;
+    cells.reserve(spec.axes.solvers.size() * spec.axes.batch_sizes.size() *
+                  spec.axes.objectives.size() * spec.axes.targets.size() *
+                  static_cast<std::size_t>(spec.replicates));
+    for (const std::string& solver : spec.axes.solvers) {
+        for (const int batch_size : spec.axes.batch_sizes) {
+            for (const core::Objective objective : spec.axes.objectives) {
+                for (const color::Rgb8 target : spec.axes.targets) {
+                    for (int rep = 0; rep < spec.replicates; ++rep) {
+                        CampaignCell cell;
+                        cell.index = cells.size();
+                        cell.solver = solver;
+                        cell.batch_size = batch_size;
+                        cell.objective = objective;
+                        cell.target = target;
+                        cell.replicate = rep;
+
+                        cell.config = spec.base;
+                        cell.config.solver = solver;
+                        cell.config.batch_size = batch_size;
+                        cell.config.objective = objective;
+                        cell.config.target = target;
+                        cell.config.seed = cell_seed(spec, cell.index, rep);
+                        cell.config.experiment_id = cell_experiment_id(spec, cell);
+                        cells.push_back(std::move(cell));
+                    }
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+}  // namespace sdl::campaign

@@ -1,0 +1,42 @@
+// Campaign YAML I/O — the declarative form of a CampaignSpec.
+//
+// A campaign file is an experiment file plus two extra sections:
+//
+//   campaign:
+//     name: fig4_grid          # optional; also the result-id prefix
+//     replicates: 2            # optional, default 1
+//     base_seed: 100           # optional, default 1
+//     seed_mode: per_cell      # per_cell (default) | per_replicate
+//   grid:                      # every axis optional; omitted axes keep
+//     solvers: [genetic, bayesian]        # ...the base-config value
+//     batch_sizes: [1, 8, 64]
+//     objectives: [rgb, de2000]
+//     targets: [[120, 120, 120], [200, 40, 80]]
+//   experiment:                # the usual single-experiment document
+//     total_samples: 128       # (config_io schema); solver, batch_size,
+//   plate:                     # objective, target, seed and id are
+//     rows: 8                  # overridden per cell by the grid
+//     cols: 12
+//
+// Unknown keys raise ConfigError so typos fail loudly.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "campaign/campaign.hpp"
+
+namespace sdl::campaign {
+
+/// Parses a campaign document (the `campaign:` section is what marks a
+/// file as a campaign; it may be empty but must be present).
+[[nodiscard]] CampaignSpec campaign_from_yaml(std::string_view text);
+
+/// Loads a campaign spec from a file path.
+[[nodiscard]] CampaignSpec campaign_from_file(const std::string& path);
+
+/// Serializes a spec back to YAML (inverse of campaign_from_yaml for the
+/// documented subset).
+[[nodiscard]] std::string campaign_to_yaml(const CampaignSpec& spec);
+
+}  // namespace sdl::campaign

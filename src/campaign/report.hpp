@@ -1,0 +1,55 @@
+// Campaign reporting: per-group aggregation plus JSON/CSV serialization.
+//
+// One result schema serves both single experiments (sdlbench_run --json)
+// and campaign cells, so downstream tooling parses one shape:
+// "sdlbench.experiment_result.v1". Campaign documents wrap a list of cell
+// results plus replicate-aggregated statistics. Everything serialized
+// here is modeled (simulated) time — host wall time is deliberately kept
+// out so the same spec yields byte-identical JSON on every run.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "support/json.hpp"
+#include "support/stats.hpp"
+
+namespace sdl::campaign {
+
+/// Statistics over the replicates of one grid point
+/// (solver, batch_size, objective, target).
+struct CellAggregate {
+    std::string solver;
+    int batch_size = 1;
+    core::Objective objective = core::Objective::RgbEuclidean;
+    color::Rgb8 target;
+    std::size_t replicates = 0;
+    support::OnlineStats best_score;
+    support::OnlineStats total_minutes;          ///< modeled experiment time
+    support::OnlineStats time_per_color_minutes;
+    support::OnlineStats batches_run;
+    support::OnlineStats commands_completed;
+};
+
+/// Groups results by grid point (first-seen order) and accumulates the
+/// replicate statistics.
+[[nodiscard]] std::vector<CellAggregate> aggregate_results(
+    std::span<const CellResult> results);
+
+/// The shared result schema ("sdlbench.experiment_result.v1"): experiment
+/// id, resolved knobs, the Figure-4 sample series, best match, counters,
+/// and the Table-1 metrics.
+[[nodiscard]] support::json::Value experiment_result_to_json(
+    const core::ColorPickerConfig& config, const core::ExperimentOutcome& outcome);
+
+/// The campaign document ("sdlbench.campaign_result.v1"): spec echo,
+/// per-cell results, aggregates. Deterministic for a given spec.
+[[nodiscard]] support::json::Value campaign_results_to_json(
+    const CampaignSpec& spec, std::span<const CellResult> results);
+
+/// One summary row per cell (no sample series) for spreadsheet use.
+[[nodiscard]] std::string campaign_results_to_csv(std::span<const CellResult> results);
+
+}  // namespace sdl::campaign

@@ -1,0 +1,52 @@
+#include "campaign/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+#include "core/colorpicker.hpp"
+#include "support/log.hpp"
+
+namespace sdl::campaign {
+
+std::vector<CellResult> CampaignRunner::run(const CampaignSpec& spec) const {
+    return run(spec, support::global_pool());
+}
+
+std::vector<CellResult> CampaignRunner::run(const CampaignSpec& spec,
+                                            support::ThreadPool& pool) const {
+    std::vector<CampaignCell> cells = expand_grid(spec);
+    const std::size_t total = cells.size();
+    if (options_.log_progress) {
+        support::log_info("campaign", "'", spec.name, "': ", total, " cells on ",
+                          pool.size(), " workers");
+    }
+    std::atomic<std::size_t> done{0};
+
+    support::ParallelOptions parallel;
+    parallel.max_workers = options_.max_workers;
+    parallel.chunk = options_.chunk;
+    return pool.parallel_map(
+        total,
+        [&](std::size_t i) {
+            const auto started = std::chrono::steady_clock::now();
+            CellResult result;
+            result.cell = std::move(cells[i]);
+            result.outcome = core::ColorPickerApp(result.cell.config).run();
+            result.wall_seconds =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+                    .count();
+            const std::size_t finished = done.fetch_add(1) + 1;
+            if (options_.log_progress) {
+                support::log_info("campaign", "[", finished, "/", total, "] ",
+                                  result.cell.config.experiment_id,
+                                  " best=", result.outcome.best_score, " (",
+                                  result.outcome.samples.size(), " samples)");
+            }
+            if (options_.on_cell_done) options_.on_cell_done(result, finished, total);
+            return result;
+        },
+        parallel);
+}
+
+}  // namespace sdl::campaign

@@ -1,0 +1,56 @@
+// CampaignRunner: executes an expanded campaign grid on the thread pool.
+//
+// Every cell is an independent simulated workcell (its own
+// core::WorkcellRuntime), so cells parallelize perfectly; the runner fans
+// them out with support::ThreadPool::parallel_map using the hinted
+// overload, keeps results in grid order, and logs progress as cells
+// complete. Determinism: a cell's outcome depends only on its resolved
+// config (expand_grid's deterministic seeds), never on scheduling, so the
+// same spec always produces identical results.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "support/thread_pool.hpp"
+
+namespace sdl::campaign {
+
+/// One executed cell. `wall_seconds` is host time (excluded from the
+/// deterministic result JSON; bench_campaign reports it separately).
+struct CellResult {
+    CampaignCell cell;
+    core::ExperimentOutcome outcome;
+    double wall_seconds = 0.0;
+};
+
+struct CampaignRunnerOptions {
+    /// Cap on cells in flight (0 = one per pool worker).
+    std::size_t max_workers = 0;
+    /// Cells claimed per worker grab (ThreadPool chunk hint).
+    std::size_t chunk = 1;
+    /// Log one line per finished cell (level info, channel "campaign").
+    bool log_progress = true;
+    /// Extra per-cell completion hook (e.g. CLI progress output). Called
+    /// concurrently from worker threads, completion order.
+    std::function<void(const CellResult&, std::size_t done, std::size_t total)>
+        on_cell_done;
+};
+
+class CampaignRunner {
+public:
+    explicit CampaignRunner(CampaignRunnerOptions options = {}) : options_(options) {}
+
+    /// Expands `spec` and runs every cell on the process-wide pool.
+    [[nodiscard]] std::vector<CellResult> run(const CampaignSpec& spec) const;
+
+    /// Same, on an explicit pool.
+    [[nodiscard]] std::vector<CellResult> run(const CampaignSpec& spec,
+                                              support::ThreadPool& pool) const;
+
+private:
+    CampaignRunnerOptions options_;
+};
+
+}  // namespace sdl::campaign

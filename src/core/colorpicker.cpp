@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "color/lab.hpp"
 #include "core/workflows.hpp"
 #include "imaging/well_reader.hpp"
 #include "solver/factory.hpp"
@@ -22,96 +21,52 @@ namespace {
 constexpr int kMaxRetakes = 3;
 }  // namespace
 
-double evaluate_objective(Objective objective, color::Rgb8 measured, color::Rgb8 target) {
-    switch (objective) {
-        case Objective::RgbEuclidean: return color::rgb_distance(measured, target);
-        case Objective::DeltaE76:
-            return color::delta_e76(color::to_lab(measured), color::to_lab(target));
-        case Objective::DeltaE2000:
-            return color::delta_e2000(color::to_lab(measured), color::to_lab(target));
-    }
-    return 0.0;
-}
-
-namespace {
-
-ColorPickerConfig prepare(ColorPickerConfig config) {
-    support::check(config.total_samples > 0, "total_samples must be positive");
-    support::check(config.batch_size > 0, "batch_size must be positive");
-    support::check(config.batch_size <= config.plate_rows * config.plate_cols,
-                   "batch cannot exceed plate capacity");
-    config.sciclops.plate_rows = config.plate_rows;
-    config.sciclops.plate_cols = config.plate_cols;
-    // Derive device noise streams from the experiment seed so a seed fully
-    // determines the run.
-    config.ot2.noise_seed = config.seed * 0x9E3779B9ULL + 0x07B2;
-    config.camera.noise_seed = config.seed * 0x85EBCA6BULL + 0xCA3E;
-    config.faults.seed = config.seed * 0xC2B2AE35ULL + 0xFA11;
-    config.flow.seed = config.seed * 0x27D4EB2FULL + 0x910B;
-    if (config.experiment_id.empty()) {
-        config.experiment_id = "color_picker_" + config.date + "_B" +
-                               std::to_string(config.batch_size) + "_s" +
-                               std::to_string(config.seed);
-    }
-    return config;
-}
-
-}  // namespace
-
 ColorPickerApp::ColorPickerApp(ColorPickerConfig config)
-    : config_(prepare(std::move(config))),
-      faults_(config_.faults),
-      transport_(sim_, registry_, &faults_),
-      log_(),
-      engine_(transport_, registry_, log_, config_.retry),
-      flow_(sim_, portal_, config_.flow) {
-    locations_.add_location(wei::locations::kExchange);
-    locations_.add_location(wei::locations::kCamera);
-    locations_.add_location(wei::locations::kOt2Deck);
-    locations_.add_location(wei::locations::kTrash);
+    : owned_runtime_(std::make_unique<WorkcellRuntime>(std::move(config))),
+      runtime_(owned_runtime_.get()) {
+    runtime_->claim();
+    init_solver();
+}
 
-    sciclops_ = std::make_shared<devices::SciclopsSim>(config_.sciclops, plates_, locations_);
-    pf400_ = std::make_shared<devices::Pf400Sim>(config_.pf400, locations_);
-    ot2_ = std::make_shared<devices::Ot2Sim>(config_.ot2, plates_, locations_);
-    barty_ = std::make_shared<devices::BartySim>(config_.barty, ot2_->reservoirs());
-    camera_ = std::make_shared<devices::CameraSim>(config_.camera, plates_, locations_);
-    registry_.add(sciclops_);
-    registry_.add(pf400_);
-    registry_.add(ot2_);
-    registry_.add(barty_);
-    registry_.add(camera_);
+ColorPickerApp::ColorPickerApp(WorkcellRuntime& runtime) : runtime_(&runtime) {
+    runtime_->claim();
+    init_solver();
+}
 
+void ColorPickerApp::init_solver() {
+    const ColorPickerConfig& config = runtime_->config();
     solver::SolverOptions solver_options;
     solver_options.dims = 4;
-    solver_options.seed = config_.seed;
-    solver_options.mixer = &ot2_->mixer();
-    solver_options.target = config_.target;
-    solver_ = solver::make_solver(config_.solver, solver_options);
+    solver_options.seed = config.seed;
+    solver_options.mixer = &runtime_->ot2().mixer();
+    solver_options.target = config.target;
+    solver_ = solver::make_solver(config.solver, solver_options);
 }
 
 void ColorPickerApp::ensure_plate_with_room(int batch) {
     if (current_plate_.has_value()) {
-        const wei::Plate& plate = plates_.get(*current_plate_);
+        const wei::Plate& plate = runtime_->plates().get(*current_plate_);
         const int free = plate.capacity() - plate.filled_count();
         if (free >= batch) return;
         // Plate full (for this batch): Figure 2's "Check: Plate Full" path.
-        (void)engine_.run(wf_trashplate());
+        (void)runtime_->engine().run(wf_trashplate());
         current_plate_.reset();
     }
-    const wei::WorkflowRunStats stats = engine_.run(wf_newplate());
+    const wei::WorkflowRunStats stats = runtime_->engine().run(wf_newplate());
     current_plate_ = stats.results.at(0).data.at("plate_id").as_int();
     ++outcome_.plates_used;
 }
 
 void ColorPickerApp::ensure_reservoirs(std::span<const devices::DispenseOrder> orders) {
-    if (ot2_->can_cover(orders)) return;
+    if (runtime_->ot2().can_cover(orders)) return;
     // Figure 2's "Check: Refill Color" path.
-    (void)engine_.run(wf_replenish());
+    (void)runtime_->engine().run(wf_replenish());
     ++outcome_.replenishes;
 }
 
 ColorPickerApp::BatchReadout ColorPickerApp::mix_and_measure(
     const std::vector<std::vector<double>>& proposals, const std::vector<int>& wells) {
+    const ColorPickerConfig& config = runtime_->config();
     // Translate ratio proposals into dispense orders.
     std::vector<devices::DispenseOrder> orders;
     orders.reserve(proposals.size());
@@ -122,7 +77,7 @@ ColorPickerApp::BatchReadout ColorPickerApp::mix_and_measure(
         for (const double r : proposals[i]) sum += r;
         for (std::size_t dye = 0; dye < 4; ++dye) {
             // Normalize so each well holds exactly well_volume of liquid.
-            order.volumes[dye] = config_.well_volume * (proposals[i][dye] / sum);
+            order.volumes[dye] = config.well_volume * (proposals[i][dye] / sum);
         }
         orders.push_back(order);
     }
@@ -130,25 +85,26 @@ ColorPickerApp::BatchReadout ColorPickerApp::mix_and_measure(
 
     const wei::Workflow mix =
         wf_mixcolor().with_step_args(kMixStepName, devices::Ot2Sim::make_protocol_args(orders));
-    const wei::WorkflowRunStats stats = engine_.run(mix);
+    const wei::WorkflowRunStats stats = runtime_->engine().run(mix);
     std::int64_t frame_id = stats.results.back().data.at("frame_id").as_int();
 
     // §2.4 vision pipeline on the captured frame. An unusable frame
     // (occluded fiducial, reflection) is recovered by retaking the photo
     // — the plate is already sitting on the camera nest.
     imaging::WellReadParams read_params;
-    read_params.geometry = camera_->scene().geometry;
-    read_params.geometry.rows = config_.plate_rows;
-    read_params.geometry.cols = config_.plate_cols;
-    imaging::WellReadout readout = imaging::read_plate(camera_->frame(frame_id), read_params);
+    read_params.geometry = runtime_->camera().scene().geometry;
+    read_params.geometry.rows = config.plate_rows;
+    read_params.geometry.cols = config.plate_cols;
+    imaging::WellReadout readout =
+        imaging::read_plate(runtime_->camera().frame(frame_id), read_params);
     int retakes = 0;
     while (!readout.ok && retakes < kMaxRetakes) {
         ++retakes;
         support::log_warn("colorpicker", "unusable frame (", readout.error,
                           "); retaking photo (attempt ", retakes, ")");
-        const wei::WorkflowRunStats retake = engine_.run(wf_retake());
+        const wei::WorkflowRunStats retake = runtime_->engine().run(wf_retake());
         frame_id = retake.results.back().data.at("frame_id").as_int();
-        readout = imaging::read_plate(camera_->frame(frame_id), read_params);
+        readout = imaging::read_plate(runtime_->camera().frame(frame_id), read_params);
     }
     if (!readout.ok) {
         throw wei::WorkflowError("vision pipeline failed after " +
@@ -165,33 +121,35 @@ ColorPickerApp::BatchReadout ColorPickerApp::mix_and_measure(
         solver::Observation obs;
         obs.ratios = proposals[i];
         obs.measured = readout.colors.at(static_cast<std::size_t>(wells[i]));
-        obs.score = evaluate_objective(config_.objective, obs.measured, config_.target);
+        obs.score = evaluate_objective(config.objective, obs.measured, config.target);
         result.observations.push_back(std::move(obs));
     }
     return result;
 }
 
 void ColorPickerApp::publish_experiment_header() {
+    const ColorPickerConfig& config = runtime_->config();
     data::ExperimentRecord record;
-    record.experiment_id = config_.experiment_id;
-    record.date = config_.date;
+    record.experiment_id = config.experiment_id;
+    record.date = config.date;
     record.solver = solver_->name();
-    record.target = config_.target;
-    record.batch_size = config_.batch_size;
+    record.target = config.target;
+    record.batch_size = config.batch_size;
     record.total_samples = samples_done_;
     record.run_count = outcome_.batches_run;
-    flow_.publish(record.to_json());
+    runtime_->flow().publish(record.to_json());
 }
 
 void ColorPickerApp::publish_run(int run_number,
                                  std::span<const solver::Observation> observations,
                                  const std::vector<int>& wells, TimePoint started,
                                  std::int64_t frame_id) {
+    const ColorPickerConfig& config = runtime_->config();
     data::RunRecord record;
-    record.experiment_id = config_.experiment_id;
+    record.experiment_id = config.experiment_id;
     record.run_number = run_number;
     record.started = started;
-    record.ended = transport_.now();
+    record.ended = runtime_->transport().now();
     record.image_ref = "plate_frame_" + std::to_string(frame_id) + ".ppm";
     record.best_score = outcome_.best_score;
     for (std::size_t i = 0; i < observations.size(); ++i) {
@@ -203,7 +161,7 @@ void ColorPickerApp::publish_run(int run_number,
         double sum = 0.0;
         for (const double r : observations[i].ratios) sum += r;
         for (const double r : observations[i].ratios) {
-            sample.volumes_ul.push_back(config_.well_volume.to_microliters() * r / sum);
+            sample.volumes_ul.push_back(config.well_volume.to_microliters() * r / sum);
         }
         sample.measured = observations[i].measured;
         sample.score = observations[i].score;
@@ -212,29 +170,30 @@ void ColorPickerApp::publish_run(int run_number,
         sample.measured_at = record.ended;
         record.samples.push_back(std::move(sample));
     }
-    flow_.publish(record.to_json());
+    runtime_->flow().publish(record.to_json());
 }
 
 ExperimentOutcome ColorPickerApp::run() {
     support::check(!ran_, "ColorPickerApp::run() may only be called once");
     ran_ = true;
-    outcome_.experiment_id = config_.experiment_id;
+    const ColorPickerConfig& config = runtime_->config();
+    outcome_.experiment_id = config.experiment_id;
     outcome_.best_score = 1e300;
 
     double residual_sum = 0.0;
     std::size_t residual_count = 0;
 
-    while (samples_done_ < config_.total_samples) {
-        if (config_.stop_threshold > 0.0 && outcome_.best_score <= config_.stop_threshold) {
+    while (samples_done_ < config.total_samples) {
+        if (config.stop_threshold > 0.0 && outcome_.best_score <= config.stop_threshold) {
             outcome_.reached_threshold = true;
             break;
         }
         const int batch =
-            std::min(config_.batch_size, config_.total_samples - samples_done_);
+            std::min(config.batch_size, config.total_samples - samples_done_);
         ensure_plate_with_room(batch);
 
         // Assign the batch to the next free wells on the current plate.
-        wei::Plate& plate = plates_.get(*current_plate_);
+        wei::Plate& plate = runtime_->plates().get(*current_plate_);
         std::vector<int> wells;
         int well_cursor = plate.next_free_well().value_or(0);
         for (int i = 0; i < batch; ++i) {
@@ -243,7 +202,7 @@ ExperimentOutcome ColorPickerApp::run() {
             ++well_cursor;
         }
 
-        const TimePoint batch_start = transport_.now();
+        const TimePoint batch_start = runtime_->transport().now();
         const auto proposals = solver_->ask(static_cast<std::size_t>(batch));
         BatchReadout readout = mix_and_measure(proposals, wells);
 
@@ -257,7 +216,7 @@ ExperimentOutcome ColorPickerApp::run() {
             }
             SamplePoint point;
             point.index = samples_done_;
-            point.elapsed_minutes = transport_.now().to_minutes();
+            point.elapsed_minutes = runtime_->transport().now().to_minutes();
             point.score = obs.score;
             point.best_so_far = outcome_.best_score;
             point.ratios = obs.ratios;
@@ -273,7 +232,7 @@ ExperimentOutcome ColorPickerApp::run() {
         // keep working) and feed the solver. The experiment header goes up
         // once at the start; the per-batch run records are the "distinct
         // data upload steps" the paper counts.
-        if (config_.publish) {
+        if (config.publish) {
             if (outcome_.batches_run == 1) publish_experiment_header();
             publish_run(outcome_.batches_run, readout.observations, wells, batch_start,
                         readout.frame_id);
@@ -285,20 +244,21 @@ ExperimentOutcome ColorPickerApp::run() {
 
     // The experiment ends at the last measurement; metrics snapshot now,
     // before teardown housekeeping.
-    outcome_.metrics = metrics::compute_metrics(log_, samples_done_,
-                                                flow_.completion_times(), config_.metrics);
+    outcome_.metrics =
+        metrics::compute_metrics(runtime_->event_log(), samples_done_,
+                                 runtime_->flow().completion_times(), config.metrics);
     outcome_.mean_grid_residual_px =
         residual_count > 0 ? residual_sum / static_cast<double>(residual_count) : 0.0;
 
     // Figure 2: terminal cp_wf_trashplate once termination criteria hold.
     if (current_plate_.has_value()) {
-        (void)engine_.run(wf_trashplate());
+        (void)runtime_->engine().run(wf_trashplate());
         current_plate_.reset();
     }
     // Final experiment header carries the completed totals; let in-flight
     // publications land so the portal is complete.
-    if (config_.publish && outcome_.batches_run > 0) publish_experiment_header();
-    sim_.run_all();
+    if (config.publish && outcome_.batches_run > 0) publish_experiment_header();
+    runtime_->sim().run_all();
 
     return outcome_;
 }

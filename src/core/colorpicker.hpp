@@ -11,115 +11,51 @@
 //      sample budget is exhausted or the target is matched;
 //   7. cp_wf_trashplate / cp_wf_replenish handle plate and reservoir
 //      housekeeping along the way.
+//
+// The workcell itself — devices, transport, engine, event log, data
+// plane — lives in WorkcellRuntime; this class only drives the loop.
 #pragma once
 
 #include <memory>
 #include <optional>
-#include <string>
 #include <vector>
 
-#include "color/rgb.hpp"
-#include "data/flow.hpp"
-#include "data/portal.hpp"
-#include "des/simulation.hpp"
-#include "devices/barty.hpp"
-#include "devices/camera.hpp"
-#include "devices/ot2.hpp"
-#include "devices/pf400.hpp"
-#include "devices/sciclops.hpp"
-#include "metrics/metrics.hpp"
+#include "core/experiment_config.hpp"
+#include "core/workcell_runtime.hpp"
 #include "solver/solver.hpp"
-#include "support/units.hpp"
-#include "wei/engine.hpp"
-#include "wei/faults.hpp"
-#include "wei/sim_transport.hpp"
 
 namespace sdl::core {
 
-/// Objective used to grade samples against the target.
-enum class Objective { RgbEuclidean, DeltaE76, DeltaE2000 };
-
-[[nodiscard]] double evaluate_objective(Objective objective, color::Rgb8 measured,
-                                        color::Rgb8 target);
-
-struct ColorPickerConfig {
-    // --- experiment design (the paper's §3 knobs)
-    color::Rgb8 target{120, 120, 120};
-    int total_samples = 128;  ///< N
-    int batch_size = 1;       ///< B
-    std::string solver = "genetic";
-    Objective objective = Objective::RgbEuclidean;
-    /// Stop early once the best score drops to this value (0 = never).
-    double stop_threshold = 0.0;
-    std::uint64_t seed = 1;
-
-    // --- consumables & hardware
-    int plate_rows = 8;
-    int plate_cols = 12;
-    /// Total dye volume dispensed per well; ratios scale within this.
-    support::Volume well_volume = support::Volume::microliters(80.0);
-    devices::SciclopsConfig sciclops;
-    devices::Pf400Config pf400;
-    devices::Ot2Config ot2;
-    devices::BartyConfig barty;
-    devices::CameraConfig camera;
-
-    // --- control plane
-    wei::FaultConfig faults;      ///< default: fault-free
-    wei::RetryPolicy retry;
-    data::FlowConfig flow;
-    metrics::MetricsConfig metrics;
-
-    // --- publication
-    bool publish = true;
-    std::string experiment_id;  ///< auto-derived when empty
-    std::string date = "2023-08-16";
-};
-
-/// One measured sample in experiment order — the dots of Figure 4.
-struct SamplePoint {
-    int index = 0;                     ///< 1-based sample sequence number
-    double elapsed_minutes = 0.0;      ///< x-axis of Figure 4
-    double score = 0.0;
-    double best_so_far = 0.0;          ///< y-axis of Figure 4
-    std::vector<double> ratios;
-    color::Rgb8 measured;
-};
-
-struct ExperimentOutcome {
-    std::string experiment_id;
-    std::vector<SamplePoint> samples;
-    double best_score = 0.0;
-    std::vector<double> best_ratios;
-    color::Rgb8 best_color;
-    bool reached_threshold = false;
-
-    metrics::SdlMetrics metrics;   ///< snapshot at the final measurement
-    int plates_used = 0;
-    int replenishes = 0;
-    int batches_run = 0;           ///< = published runs
-    int frame_retakes = 0;         ///< unusable frames recovered by retaking
-
-    // Vision diagnostics aggregated over all camera reads.
-    std::size_t wells_rescued_total = 0;
-    double mean_grid_residual_px = 0.0;
-};
-
-/// Owns the whole simulated workcell, control plane and data plane for
-/// one experiment. Construct, call run() once, then inspect the outcome,
-/// the portal, or the event log.
+/// Runs one experiment to completion on a workcell runtime. Construct,
+/// call run() once, then inspect the outcome, the portal, or the event
+/// log.
 class ColorPickerApp {
 public:
+    /// Convenience: builds and owns a WorkcellRuntime for `config`.
     explicit ColorPickerApp(ColorPickerConfig config);
+
+    /// Borrows an externally owned runtime (which carries the config);
+    /// the runtime must outlive the app. A runtime drives at most one
+    /// experiment: borrowing an already claimed one throws LogicError.
+    explicit ColorPickerApp(WorkcellRuntime& runtime);
 
     /// Executes the experiment to completion.
     [[nodiscard]] ExperimentOutcome run();
 
     // Post-run inspection.
-    [[nodiscard]] const data::DataPortal& portal() const noexcept { return portal_; }
-    [[nodiscard]] const wei::EventLog& event_log() const noexcept { return log_; }
-    [[nodiscard]] const devices::CameraSim& camera() const noexcept { return *camera_; }
-    [[nodiscard]] const ColorPickerConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const WorkcellRuntime& runtime() const noexcept { return *runtime_; }
+    [[nodiscard]] const data::DataPortal& portal() const noexcept {
+        return runtime_->portal();
+    }
+    [[nodiscard]] const wei::EventLog& event_log() const noexcept {
+        return runtime_->event_log();
+    }
+    [[nodiscard]] const devices::CameraSim& camera() const noexcept {
+        return runtime_->camera();
+    }
+    [[nodiscard]] const ColorPickerConfig& config() const noexcept {
+        return runtime_->config();
+    }
 
 private:
     struct BatchReadout {
@@ -129,6 +65,7 @@ private:
         double grid_residual_px = 0.0;
     };
 
+    void init_solver();
     void ensure_plate_with_room(int batch);
     void ensure_reservoirs(std::span<const devices::DispenseOrder> orders);
     [[nodiscard]] BatchReadout mix_and_measure(
@@ -139,22 +76,8 @@ private:
                      std::int64_t frame_id);
     void publish_experiment_header();
 
-    ColorPickerConfig config_;
-    des::Simulation sim_;
-    wei::PlateRegistry plates_;
-    wei::LocationMap locations_;
-    wei::ModuleRegistry registry_;
-    std::shared_ptr<devices::SciclopsSim> sciclops_;
-    std::shared_ptr<devices::Pf400Sim> pf400_;
-    std::shared_ptr<devices::Ot2Sim> ot2_;
-    std::shared_ptr<devices::BartySim> barty_;
-    std::shared_ptr<devices::CameraSim> camera_;
-    wei::FaultInjector faults_;
-    wei::SimTransport transport_;
-    wei::EventLog log_;
-    wei::WorkflowEngine engine_;
-    data::DataPortal portal_;
-    data::GlobusFlowSim flow_;
+    std::unique_ptr<WorkcellRuntime> owned_runtime_;  ///< null when borrowing
+    WorkcellRuntime* runtime_ = nullptr;
     std::unique_ptr<solver::Solver> solver_;
 
     ExperimentOutcome outcome_;

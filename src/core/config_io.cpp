@@ -10,8 +10,6 @@ namespace sdl::core {
 
 namespace json = support::json;
 
-namespace {
-
 void reject_unknown_keys(const json::Value& node, std::initializer_list<const char*> known,
                          const std::string& where) {
     if (!node.is_object()) return;
@@ -46,24 +44,21 @@ const char* objective_to_string(Objective objective) {
     return "rgb";
 }
 
-color::Rgb8 color_from_array(const json::Value& v, const std::string& where) {
-    if (!v.is_array() || v.as_array().size() != 3) {
+color::Rgb8 rgb_from_doc(const json::Value& value, const std::string& where) {
+    if (!value.is_array() || value.as_array().size() != 3) {
         throw support::ConfigError(where + " must be a [r, g, b] triple");
     }
     const auto channel = [&](std::size_t i) {
-        const std::int64_t value = v.as_array()[i].as_int();
-        if (value < 0 || value > 255) {
+        const std::int64_t v = value.as_array()[i].as_int();
+        if (v < 0 || v > 255) {
             throw support::ConfigError(where + " channels must be 0..255");
         }
-        return static_cast<std::uint8_t>(value);
+        return static_cast<std::uint8_t>(v);
     };
     return {channel(0), channel(1), channel(2)};
 }
 
-}  // namespace
-
-ColorPickerConfig config_from_yaml(std::string_view text) {
-    const json::Value doc = support::yaml::parse(text);
+ColorPickerConfig config_from_doc(const json::Value& doc) {
     if (!doc.is_object()) {
         throw support::ConfigError("experiment file must be a YAML mapping");
     }
@@ -77,7 +72,7 @@ ColorPickerConfig config_from_yaml(std::string_view text) {
                              "seed", "stop_threshold", "id", "date", "publish"},
                             "experiment");
         if (const json::Value* target = exp->find("target")) {
-            config.target = color_from_array(*target, "experiment.target");
+            config.target = rgb_from_doc(*target, "experiment.target");
         }
         config.total_samples = static_cast<int>(
             exp->get_or("total_samples", std::int64_t{config.total_samples}));
@@ -118,6 +113,10 @@ ColorPickerConfig config_from_yaml(std::string_view text) {
     return config;
 }
 
+ColorPickerConfig config_from_yaml(std::string_view text) {
+    return config_from_doc(support::yaml::parse(text));
+}
+
 ColorPickerConfig config_from_file(const std::string& path) {
     std::ifstream file(path);
     if (!file) throw support::Error("io", "cannot open experiment file '" + path + "'");
@@ -126,7 +125,7 @@ ColorPickerConfig config_from_file(const std::string& path) {
     return config_from_yaml(buffer.str());
 }
 
-std::string config_to_yaml(const ColorPickerConfig& config) {
+json::Value config_to_doc(const ColorPickerConfig& config) {
     json::Value doc = json::Value::object();
     json::Value exp = json::Value::object();
     json::Value target = json::Value::array();
@@ -159,7 +158,11 @@ std::string config_to_yaml(const ColorPickerConfig& config) {
     retry.set("max_attempts", config.retry.max_attempts);
     retry.set("human_rescue", config.retry.human_rescue);
     doc.set("retry", std::move(retry));
-    return support::yaml::dump(doc);
+    return doc;
+}
+
+std::string config_to_yaml(const ColorPickerConfig& config) {
+    return support::yaml::dump(config_to_doc(config));
 }
 
 }  // namespace sdl::core

@@ -1,0 +1,38 @@
+#include "core/workcell_runtime.hpp"
+
+#include "support/common.hpp"
+
+namespace sdl::core {
+
+void WorkcellRuntime::claim() {
+    support::check(!claimed_,
+                   "WorkcellRuntime already drives an experiment; construct a fresh "
+                   "runtime per experiment");
+    claimed_ = true;
+}
+
+WorkcellRuntime::WorkcellRuntime(ColorPickerConfig config)
+    : config_(finalize_config(std::move(config))),
+      faults_(config_.faults),
+      transport_(sim_, registry_, &faults_),
+      log_(),
+      engine_(transport_, registry_, log_, config_.retry),
+      flow_(sim_, portal_, config_.flow) {
+    locations_.add_location(wei::locations::kExchange);
+    locations_.add_location(wei::locations::kCamera);
+    locations_.add_location(wei::locations::kOt2Deck);
+    locations_.add_location(wei::locations::kTrash);
+
+    sciclops_ = std::make_shared<devices::SciclopsSim>(config_.sciclops, plates_, locations_);
+    pf400_ = std::make_shared<devices::Pf400Sim>(config_.pf400, locations_);
+    ot2_ = std::make_shared<devices::Ot2Sim>(config_.ot2, plates_, locations_);
+    barty_ = std::make_shared<devices::BartySim>(config_.barty, ot2_->reservoirs());
+    camera_ = std::make_shared<devices::CameraSim>(config_.camera, plates_, locations_);
+    registry_.add(sciclops_);
+    registry_.add(pf400_);
+    registry_.add(ot2_);
+    registry_.add(barty_);
+    registry_.add(camera_);
+}
+
+}  // namespace sdl::core

@@ -7,16 +7,30 @@
 // vary (the OpenMP "schedule(static, chunk)" idiom).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 namespace sdl::support {
+
+/// Tuning knobs for the hinted parallel_map overload.
+struct ParallelOptions {
+    /// Upper bound on tasks in flight (capped at the pool size);
+    /// 0 = one per pool worker. Lets a caller leave headroom for other
+    /// work sharing the pool.
+    std::size_t max_workers = 0;
+    /// Indices each worker claims per grab. 1 (the default) balances
+    /// best when item costs vary; larger chunks amortize dispatch for
+    /// many cheap items.
+    std::size_t chunk = 1;
+};
 
 class ThreadPool {
 public:
@@ -66,6 +80,101 @@ public:
         std::vector<R> out;
         out.reserve(n);
         for (auto& f : futures) out.push_back(f.get());
+        return out;
+    }
+
+    /// parallel_map with an explicit concurrency cap and chunk hint.
+    /// Unlike the overload above (one queued task per item), this one
+    /// enqueues at most `max_workers` drain tasks that claim `chunk`
+    /// indices at a time. Results keep index order; the first exception
+    /// from any item is rethrown after all active workers stop.
+    ///
+    /// Safe under nesting: the calling thread drains work itself, and it
+    /// never blocks on queued helper tasks — only on drains that actually
+    /// started. Helpers that the pool gets to late find no work left and
+    /// return against heap-owned state, so they cannot touch a dead
+    /// frame even if they run after this call returned.
+    template <typename F>
+    auto parallel_map(std::size_t n, F&& fn, const ParallelOptions& options)
+        -> std::vector<std::invoke_result_t<F, std::size_t>> {
+        using R = std::invoke_result_t<F, std::size_t>;
+        if (n == 0) return {};
+
+        const std::size_t chunk = options.chunk == 0 ? 1 : options.chunk;
+        std::size_t workers =
+            options.max_workers == 0 ? size() : std::min(options.max_workers, size());
+        workers = std::min(workers, (n + chunk - 1) / chunk);
+        if (workers == 0) workers = 1;
+
+        struct State {
+            explicit State(std::size_t count) : slots(count), n(count) {}
+            std::vector<std::optional<R>> slots;
+            std::size_t n;
+            std::atomic<std::size_t> next{0};
+            std::atomic<bool> failed{false};
+            std::mutex mutex;
+            std::condition_variable done_cv;
+            std::size_t items_done = 0;  // guarded by mutex
+            int active_drains = 0;       // guarded by mutex
+            std::exception_ptr first_error;
+        };
+        auto state = std::make_shared<State>(n);
+
+        // `fn` is captured by reference: a drain only reaches it while
+        // unclaimed work remains, and the caller cannot leave before all
+        // work is claimed (or failed) and every active drain has exited.
+        auto drain_loop = [state, &fn, chunk] {
+            {
+                std::lock_guard lock(state->mutex);
+                ++state->active_drains;
+            }
+            std::size_t completed_here = 0;
+            for (;;) {
+                if (state->failed.load(std::memory_order_relaxed)) break;
+                const std::size_t begin =
+                    state->next.fetch_add(chunk, std::memory_order_relaxed);
+                if (begin >= state->n) break;
+                const std::size_t end = std::min(state->n, begin + chunk);
+                bool threw = false;
+                for (std::size_t i = begin; i < end; ++i) {
+                    try {
+                        state->slots[i].emplace(fn(i));
+                        ++completed_here;
+                    } catch (...) {
+                        std::lock_guard lock(state->mutex);
+                        if (!state->first_error) {
+                            state->first_error = std::current_exception();
+                        }
+                        state->failed.store(true, std::memory_order_relaxed);
+                        threw = true;
+                        break;
+                    }
+                }
+                if (threw) break;
+            }
+            std::lock_guard lock(state->mutex);
+            state->items_done += completed_here;
+            --state->active_drains;
+            state->done_cv.notify_all();
+        };
+
+        // The helpers' futures are deliberately discarded — completion is
+        // tracked by the latch above, never by blocking on a queued task
+        // that a saturated pool might not schedule.
+        for (std::size_t w = 1; w < workers; ++w) (void)submit(drain_loop);
+        drain_loop();  // The calling thread participates.
+
+        std::unique_lock lock(state->mutex);
+        state->done_cv.wait(lock, [&] {
+            return state->active_drains == 0 &&
+                   (state->items_done == state->n ||
+                    state->failed.load(std::memory_order_relaxed));
+        });
+        if (state->first_error) std::rethrow_exception(state->first_error);
+
+        std::vector<R> out;
+        out.reserve(n);
+        for (auto& slot : state->slots) out.push_back(std::move(*slot));
         return out;
     }
 

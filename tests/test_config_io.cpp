@@ -3,8 +3,10 @@
 
 #include <fstream>
 
+#include "core/colorpicker.hpp"
 #include "core/config_io.hpp"
 #include "support/common.hpp"
+#include "support/yaml.hpp"
 
 using namespace sdl;
 using namespace sdl::core;
@@ -111,6 +113,39 @@ TEST(ConfigIo, LoadsFromFile) {
     EXPECT_EQ(config.total_samples, 9);
     EXPECT_EQ(config.batch_size, 3);
     EXPECT_THROW((void)config_from_file("/nonexistent/exp.yaml"), support::Error);
+}
+
+TEST(ConfigIo, DocRoundTripMatchesYamlRoundTrip) {
+    // config_from_doc / config_to_doc are the document-level halves that
+    // campaign files reuse for their base-config section.
+    ColorPickerConfig original;
+    original.target = {5, 10, 15};
+    original.solver = "anneal";
+    original.objective = Objective::DeltaE2000;
+    original.total_samples = 10;
+    original.batch_size = 5;
+    original.seed = 3;
+
+    const support::json::Value doc = config_to_doc(original);
+    const ColorPickerConfig back = config_from_doc(doc);
+    EXPECT_EQ(back.target, original.target);
+    EXPECT_EQ(back.solver, original.solver);
+    EXPECT_EQ(back.objective, original.objective);
+    EXPECT_EQ(back.total_samples, original.total_samples);
+    EXPECT_EQ(back.batch_size, original.batch_size);
+    EXPECT_EQ(back.seed, original.seed);
+    // The YAML path is exactly dump(doc) -> parse -> from_doc.
+    EXPECT_EQ(config_to_yaml(original), support::yaml::dump(doc));
+    EXPECT_THROW((void)config_from_doc(support::json::Value("scalar")),
+                 support::ConfigError);
+}
+
+TEST(ConfigIo, ObjectiveStringsRoundTrip) {
+    for (const Objective o :
+         {Objective::RgbEuclidean, Objective::DeltaE76, Objective::DeltaE2000}) {
+        EXPECT_EQ(objective_from_string(objective_to_string(o)), o);
+    }
+    EXPECT_THROW((void)objective_from_string("hsv"), support::ConfigError);
 }
 
 TEST(ConfigIo, ParsedConfigActuallyRuns) {

@@ -37,6 +37,33 @@ TEST(Objective, MetricsAgreeOnIdentityAndOrder) {
     }
 }
 
+TEST(Runtime, DrivesAtMostOneExperiment) {
+    WorkcellRuntime runtime(preset_quickstart(5));
+    EXPECT_FALSE(runtime.claimed());
+    ColorPickerApp app(runtime);
+    EXPECT_TRUE(runtime.claimed());
+    // A second app on the same (cumulative-state) workcell must fail
+    // loudly instead of silently corrupting metrics.
+    EXPECT_THROW(ColorPickerApp{runtime}, support::LogicError);
+}
+
+TEST(Runtime, BorrowedRuntimeMatchesOwnedRuntime) {
+    ColorPickerConfig config = preset_quickstart(21);
+    config.total_samples = 8;
+    config.batch_size = 4;
+
+    WorkcellRuntime runtime(config);
+    ColorPickerApp borrowed(runtime);
+    const ExperimentOutcome a = borrowed.run();
+    ColorPickerApp owned(config);
+    const ExperimentOutcome b = owned.run();
+
+    EXPECT_EQ(a.experiment_id, b.experiment_id);
+    EXPECT_EQ(a.samples.size(), b.samples.size());
+    EXPECT_DOUBLE_EQ(a.best_score, b.best_score);
+    EXPECT_EQ(a.best_color, b.best_color);
+}
+
 TEST(App, QuickstartRunsToCompletion) {
     ColorPickerApp app(preset_quickstart(7));
     const ExperimentOutcome outcome = app.run();

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "support/channel.hpp"
@@ -192,6 +194,87 @@ TEST(ThreadPool, ParallelForWorksWithMoreTasksThanThreads) {
     std::atomic<int> count{0};
     pool.parallel_for(256, [&](std::size_t) { count.fetch_add(1); });
     EXPECT_EQ(count.load(), 256);
+}
+
+TEST(ThreadPool, HintedParallelMapPreservesOrderForAnyChunk) {
+    ThreadPool pool(4);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{100}}) {
+        ParallelOptions options;
+        options.chunk = chunk;
+        const auto out =
+            pool.parallel_map(64, [](std::size_t i) { return i * i; }, options);
+        ASSERT_EQ(out.size(), 64u);
+        for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+    }
+}
+
+TEST(ThreadPool, HintedParallelMapRespectsWorkerCap) {
+    ThreadPool pool(4);
+    ParallelOptions options;
+    options.max_workers = 2;
+    std::atomic<int> in_flight{0};
+    std::atomic<int> peak{0};
+    const auto out = pool.parallel_map(
+        32,
+        [&](std::size_t i) {
+            const int now = in_flight.fetch_add(1) + 1;
+            int expected = peak.load();
+            while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            in_flight.fetch_sub(1);
+            return i;
+        },
+        options);
+    EXPECT_EQ(out.size(), 32u);
+    EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ThreadPool, HintedParallelMapPropagatesWorkerExceptions) {
+    // Regression: a throw from any worker task must surface to the
+    // caller (not deadlock, not get swallowed) for every chunk shape.
+    ThreadPool pool(4);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{5}}) {
+        ParallelOptions options;
+        options.chunk = chunk;
+        EXPECT_THROW(pool.parallel_map(
+                         100,
+                         [](std::size_t i) -> int {
+                             if (i == 37) throw std::runtime_error("boom");
+                             return 0;
+                         },
+                         options),
+                     std::runtime_error);
+    }
+}
+
+TEST(ThreadPool, HintedParallelMapSafeUnderNesting) {
+    // Regression: with every pool worker occupied by an outer task that
+    // itself calls the hinted parallel_map, the inner calls must complete
+    // on the calling threads instead of blocking forever on queued helper
+    // drains no free worker can run.
+    ThreadPool pool(2);
+    auto outer = [&pool] {
+        const auto out =
+            pool.parallel_map(8, [](std::size_t i) { return i; }, ParallelOptions{});
+        std::size_t sum = 0;
+        for (const std::size_t v : out) sum += v;
+        return sum;
+    };
+    auto f1 = pool.submit(outer);
+    auto f2 = pool.submit(outer);
+    EXPECT_EQ(f1.get(), 28u);
+    EXPECT_EQ(f2.get(), 28u);
+}
+
+TEST(ThreadPool, HintedParallelMapHandlesEdgeSizes) {
+    ThreadPool pool(2);
+    ParallelOptions options;
+    options.chunk = 0;  // treated as 1
+    EXPECT_TRUE(pool.parallel_map(0, [](std::size_t i) { return i; }, options).empty());
+    options.max_workers = 99;  // capped at pool size
+    const auto out = pool.parallel_map(3, [](std::size_t i) { return i + 1; }, options);
+    EXPECT_EQ(out, (std::vector<std::size_t>{1, 2, 3}));
 }
 
 // ---------------------------------------------------------------- channel

@@ -2,15 +2,26 @@
 //
 //   sdlbench_run <experiment.yaml> [output_dir]
 //   sdlbench_run --preset <name> [output_dir]
+//   sdlbench_run --campaign <campaign.yaml> [output_dir]
 //
-// Loads a declarative experiment file (or one of the paper-calibrated
-// presets), runs it on the simulated workcell, prints the SDL metrics,
-// and writes to the output directory (default "sdlbench_out"):
+// Single-experiment mode loads a declarative experiment file (or one of
+// the paper-calibrated presets), runs it on the simulated workcell,
+// prints the SDL metrics, and writes to the output directory (default
+// "sdlbench_out"):
 //   series.csv        — per-sample (index, elapsed, score, best) series
 //   portal.json       — the full published data portal
 //   metrics.txt       — the Table-1-style metrics report
 //   config.yaml       — the resolved configuration (for reproduction)
 //   artifacts/        — per-workflow timing files (§2.3)
+//
+// Campaign mode expands the file's solver x batch-size x objective x
+// target x replicate grid, runs every cell in parallel on the thread
+// pool, prints the per-group aggregate table, and writes campaign.json +
+// campaign.csv to the output directory.
+//
+// Either mode accepts --json <path> to additionally write the structured
+// result document (single runs and campaign cells share one schema,
+// "sdlbench.experiment_result.v1").
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -18,12 +29,17 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign_io.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "core/colorpicker.hpp"
 #include "core/config_io.hpp"
 #include "core/presets.hpp"
 #include "data/artifacts.hpp"
 #include "metrics/metrics.hpp"
 #include "support/csv.hpp"
 #include "support/log.hpp"
+#include "support/table.hpp"
 
 using namespace sdl;
 
@@ -40,16 +56,25 @@ void print_usage(std::FILE* stream) {
                  "\n"
                  "usage: sdlbench_run <experiment.yaml> [output_dir]\n"
                  "       sdlbench_run --preset <name> [output_dir]\n"
+                 "       sdlbench_run --campaign <campaign.yaml> [output_dir]\n"
                  "\n"
                  "options:\n"
-                 "  -h, --help       show this help and exit\n"
-                 "  --version        print version and exit\n"
-                 "  --preset <name>  run a paper-calibrated preset instead of a\n"
-                 "                   YAML file; names: quickstart, table1,\n"
-                 "                   table1_96well, fig3_portal\n"
+                 "  -h, --help         show this help and exit\n"
+                 "  --version          print version and exit\n"
+                 "  --preset <name>    run a paper-calibrated preset instead of a\n"
+                 "                     YAML file; names: quickstart, table1,\n"
+                 "                     table1_96well, fig3_portal\n"
+                 "  --campaign <file>  run a campaign file: a cartesian grid of\n"
+                 "                     solver x batch_size x objective x target x\n"
+                 "                     replicates, in parallel on the thread pool\n"
+                 "  --json <path>      also write the structured result document\n"
+                 "                     (the same schema for single runs and\n"
+                 "                     campaign cells); deterministic per spec\n"
                  "\n"
-                 "Outputs series.csv, portal.json, metrics.txt, config.yaml and\n"
-                 "per-workflow artifacts to [output_dir] (default sdlbench_out).\n");
+                 "Single runs write series.csv, portal.json, metrics.txt,\n"
+                 "config.yaml and per-workflow artifacts to [output_dir] (default\n"
+                 "sdlbench_out); campaigns write campaign.json and campaign.csv.\n"
+                 "See docs/BENCHMARKS.md for both YAML schemas.\n");
 }
 
 core::ColorPickerConfig preset_by_name(const std::string& name) {
@@ -59,6 +84,106 @@ core::ColorPickerConfig preset_by_name(const std::string& name) {
     if (name == "fig3_portal") return core::preset_fig3_portal();
     throw std::runtime_error("unknown preset '" + name +
                              "' (expected quickstart, table1, table1_96well, fig3_portal)");
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+    std::ofstream file(path, std::ios::binary);
+    if (!file) throw std::runtime_error("cannot open '" + path + "' for writing");
+    file << text;
+}
+
+int run_single(const core::ColorPickerConfig& config, const std::string& out_dir,
+               const std::string& json_path) {
+    std::printf("Experiment: target %s | N=%d | B=%d | solver=%s | seed=%llu\n",
+                config.target.str().c_str(), config.total_samples, config.batch_size,
+                config.solver.c_str(), static_cast<unsigned long long>(config.seed));
+
+    core::ColorPickerApp app(config);
+    const core::ExperimentOutcome outcome = app.run();
+
+    std::printf("\nBest match: %s (score %.2f) after %zu samples\n",
+                outcome.best_color.str().c_str(), outcome.best_score,
+                outcome.samples.size());
+    const std::string metrics_text = metrics::render_metrics_table(outcome.metrics);
+    std::printf("\n%s", metrics_text.c_str());
+
+    // Outputs.
+    std::filesystem::create_directories(out_dir);
+    support::CsvWriter csv({"sample", "elapsed_min", "score", "best_so_far"});
+    for (const auto& s : outcome.samples) {
+        csv.add_row(std::vector<double>{static_cast<double>(s.index),
+                                        s.elapsed_minutes, s.score, s.best_so_far});
+    }
+    csv.save(out_dir + "/series.csv");
+    write_text_file(out_dir + "/portal.json", app.portal().to_json().pretty() + "\n");
+    write_text_file(out_dir + "/metrics.txt", metrics_text);
+    write_text_file(out_dir + "/config.yaml", core::config_to_yaml(app.config()));
+    const std::size_t artifacts =
+        data::write_run_artifacts(app.event_log(), out_dir + "/artifacts");
+    if (!json_path.empty()) {
+        write_text_file(json_path,
+                        campaign::experiment_result_to_json(app.config(), outcome)
+                                .pretty() +
+                            "\n");
+        std::printf("\nWrote result document to %s\n", json_path.c_str());
+    }
+
+    std::printf("\nWrote %s/{series.csv, portal.json, metrics.txt, config.yaml} and "
+                "%zu workflow artifacts.\n",
+                out_dir.c_str(), artifacts);
+    return 0;
+}
+
+int run_campaign(const std::string& spec_path, const std::string& out_dir,
+                 const std::string& json_path) {
+    const campaign::CampaignSpec spec = campaign::campaign_from_file(spec_path);
+    std::printf("Campaign '%s': %zu cells (%zu solvers x %zu batch sizes x %zu "
+                "objectives x %zu targets x %d replicates), N=%d per cell\n",
+                spec.name.c_str(), campaign::cell_count(spec), spec.axes.solvers.size(),
+                spec.axes.batch_sizes.size(), spec.axes.objectives.size(),
+                spec.axes.targets.size(), spec.replicates, spec.base.total_samples);
+
+    campaign::CampaignRunnerOptions options;
+    options.on_cell_done = [](const campaign::CellResult& result, std::size_t done,
+                              std::size_t total) {
+        std::printf("  [%zu/%zu] %s best=%.2f (%.1fs)\n", done, total,
+                    result.cell.config.experiment_id.c_str(), result.outcome.best_score,
+                    result.wall_seconds);
+    };
+    const campaign::CampaignRunner runner(options);
+    const std::vector<campaign::CellResult> results = runner.run(spec);
+
+    support::TextTable table({"Solver", "B", "Objective", "Target", "Reps",
+                              "Best (mean±sd)", "Total time", "Time per color"});
+    table.set_alignment({support::TextTable::Align::Left, support::TextTable::Align::Right,
+                         support::TextTable::Align::Left, support::TextTable::Align::Left,
+                         support::TextTable::Align::Right, support::TextTable::Align::Right,
+                         support::TextTable::Align::Right,
+                         support::TextTable::Align::Right});
+    for (const campaign::CellAggregate& g : campaign::aggregate_results(results)) {
+        table.add_row({g.solver, std::to_string(g.batch_size),
+                       core::objective_to_string(g.objective), g.target.str(),
+                       std::to_string(g.replicates),
+                       support::fmt_double(g.best_score.mean(), 2) + " ± " +
+                           support::fmt_double(g.best_score.stddev(), 2),
+                       support::Duration::minutes(g.total_minutes.mean()).pretty(),
+                       support::Duration::minutes(g.time_per_color_minutes.mean())
+                           .pretty()});
+    }
+    std::printf("\n%s", table.str().c_str());
+
+    const std::string doc_text =
+        campaign::campaign_results_to_json(spec, results).pretty() + "\n";
+    std::filesystem::create_directories(out_dir);
+    write_text_file(out_dir + "/campaign.json", doc_text);
+    write_text_file(out_dir + "/campaign.csv", campaign::campaign_results_to_csv(results));
+    if (!json_path.empty()) {
+        write_text_file(json_path, doc_text);
+        std::printf("\nWrote result document to %s\n", json_path.c_str());
+    }
+    std::printf("\nWrote %s/{campaign.json, campaign.csv} (%zu cells).\n",
+                out_dir.c_str(), results.size());
+    return 0;
 }
 
 }  // namespace
@@ -77,80 +202,58 @@ int main(int argc, char** argv) {
     }
 
     std::string preset;
+    std::string campaign_path;
+    std::string json_path;
     for (auto it = args.begin(); it != args.end();) {
-        if (*it == "--preset") {
+        const auto take_value = [&](const char* flag, std::string& into) {
             if (std::next(it) == args.end()) {
-                std::fprintf(stderr, "error: --preset requires a name\n");
-                return 2;
+                std::fprintf(stderr, "error: %s requires a value\n", flag);
+                return false;
             }
-            preset = *std::next(it);
+            into = *std::next(it);
             it = args.erase(it, std::next(it, 2));
+            return true;
+        };
+        if (*it == "--preset") {
+            if (!take_value("--preset", preset)) return 2;
+        } else if (*it == "--campaign") {
+            if (!take_value("--campaign", campaign_path)) return 2;
+        } else if (*it == "--json") {
+            if (!take_value("--json", json_path)) return 2;
         } else {
             ++it;
         }
     }
 
-    if ((args.empty() && preset.empty()) || args.size() > (preset.empty() ? 2u : 1u)) {
+    const bool has_mode_flag = !preset.empty() || !campaign_path.empty();
+    if (!preset.empty() && !campaign_path.empty()) {
+        std::fprintf(stderr, "error: --preset and --campaign are mutually exclusive\n");
+        return 2;
+    }
+    if ((args.empty() && !has_mode_flag) || args.size() > (has_mode_flag ? 1u : 2u)) {
         print_usage(stderr);
         return 2;
     }
-    if (!preset.empty() && !args.empty() &&
+    if (has_mode_flag && !args.empty() &&
         (args[0].ends_with(".yaml") || args[0].ends_with(".yml"))) {
         std::fprintf(stderr,
-                     "error: got both --preset %s and experiment file '%s' — pass one "
+                     "error: got both a mode flag and experiment file '%s' — pass one "
                      "or the other\n",
-                     preset.c_str(), args[0].c_str());
+                     args[0].c_str());
         return 2;
     }
     support::set_log_level(support::LogLevel::Warn);
-    const std::size_t out_dir_index = preset.empty() ? 1 : 0;
+    const std::size_t out_dir_index = has_mode_flag ? 0 : 1;
     const std::string out_dir =
         args.size() > out_dir_index ? args[out_dir_index] : "sdlbench_out";
 
     try {
+        if (!campaign_path.empty()) {
+            return run_campaign(campaign_path, out_dir, json_path);
+        }
         const core::ColorPickerConfig config =
             preset.empty() ? core::config_from_file(args[0]) : preset_by_name(preset);
-        std::printf("Experiment: target %s | N=%d | B=%d | solver=%s | seed=%llu\n",
-                    config.target.str().c_str(), config.total_samples, config.batch_size,
-                    config.solver.c_str(),
-                    static_cast<unsigned long long>(config.seed));
-
-        core::ColorPickerApp app(config);
-        const core::ExperimentOutcome outcome = app.run();
-
-        std::printf("\nBest match: %s (score %.2f) after %zu samples\n",
-                    outcome.best_color.str().c_str(), outcome.best_score,
-                    outcome.samples.size());
-        const std::string metrics_text = metrics::render_metrics_table(outcome.metrics);
-        std::printf("\n%s", metrics_text.c_str());
-
-        // Outputs.
-        std::filesystem::create_directories(out_dir);
-        support::CsvWriter csv({"sample", "elapsed_min", "score", "best_so_far"});
-        for (const auto& s : outcome.samples) {
-            csv.add_row(std::vector<double>{static_cast<double>(s.index),
-                                            s.elapsed_minutes, s.score, s.best_so_far});
-        }
-        csv.save(out_dir + "/series.csv");
-        {
-            std::ofstream portal_file(out_dir + "/portal.json");
-            portal_file << app.portal().to_json().pretty() << "\n";
-        }
-        {
-            std::ofstream metrics_file(out_dir + "/metrics.txt");
-            metrics_file << metrics_text;
-        }
-        {
-            std::ofstream config_file(out_dir + "/config.yaml");
-            config_file << core::config_to_yaml(app.config());
-        }
-        const std::size_t artifacts =
-            data::write_run_artifacts(app.event_log(), out_dir + "/artifacts");
-
-        std::printf("\nWrote %s/{series.csv, portal.json, metrics.txt, config.yaml} and "
-                    "%zu workflow artifacts.\n",
-                    out_dir.c_str(), artifacts);
-        return 0;
+        return run_single(config, out_dir, json_path);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
