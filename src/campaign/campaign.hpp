@@ -32,6 +32,13 @@ enum class SeedMode {
 /// their single base-config value (campaign_io fills that in when the
 /// grid section omits an axis).
 struct CampaignAxes {
+    /// Workcell scenarios: registry names or spec file paths (see
+    /// core/scenarios.hpp). When the axis sweeps anything beyond the
+    /// base config's own scenario, each cell's config gets its scenario
+    /// applied via apply_workcell_spec before the other axes resolve; an
+    /// empty axis (or one equal to just the base scenario) keeps the
+    /// base's devices as-is.
+    std::vector<std::string> workcells;
     std::vector<std::string> solvers;
     std::vector<int> batch_sizes;
     std::vector<core::Objective> objectives;
@@ -52,6 +59,7 @@ struct CampaignSpec {
 /// One expanded grid point with its fully resolved experiment config.
 struct CampaignCell {
     std::size_t index = 0;  ///< position in expansion order
+    std::string workcell;   ///< resolved scenario name (spec.name, not the raw ref)
     std::string solver;
     int batch_size = 1;
     core::Objective objective = core::Objective::RgbEuclidean;
@@ -65,6 +73,13 @@ struct CampaignCell {
 /// replicates < 1.
 [[nodiscard]] CampaignSpec normalize(CampaignSpec spec);
 
+/// True when the workcells axis actually varies the hardware: anything
+/// beyond (empty or just the base config's own scenario). expand_grid
+/// re-resolves cell hardware exactly when this holds, and
+/// campaign_to_yaml serializes the axis exactly when this holds, so
+/// round-tripped specs expand identically. Normalize()-stable.
+[[nodiscard]] bool sweeps_workcells(const CampaignSpec& spec);
+
 /// Number of cells the spec expands to (after normalize()).
 [[nodiscard]] std::size_t cell_count(const CampaignSpec& spec);
 
@@ -72,9 +87,11 @@ struct CampaignCell {
 [[nodiscard]] std::uint64_t cell_seed(const CampaignSpec& spec, std::size_t index,
                                       int replicate);
 
-/// Expands the cartesian grid in a fixed order: solvers (outermost) x
-/// batch_sizes x objectives x targets x replicates (innermost). The same
-/// spec always produces the same cells, seeds and experiment ids.
+/// Expands the cartesian grid in a fixed order: workcells (outermost) x
+/// solvers x batch_sizes x objectives x targets x replicates (innermost).
+/// The same spec always produces the same cells, seeds and experiment
+/// ids. Scenario resolution (registry lookup / spec file load) happens
+/// once per distinct axis entry, then applies to every matching cell.
 [[nodiscard]] std::vector<CampaignCell> expand_grid(const CampaignSpec& spec);
 
 }  // namespace sdl::campaign

@@ -1,9 +1,11 @@
 #include "campaign/campaign_io.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "core/config_io.hpp"
+#include "core/scenarios.hpp"
 #include "support/common.hpp"
 #include "support/yaml.hpp"
 
@@ -28,8 +30,9 @@ const char* seed_mode_to_string(SeedMode mode) {
 
 }  // namespace
 
-CampaignSpec campaign_from_yaml(std::string_view text) {
-    const json::Value doc = support::yaml::parse(text);
+namespace {
+
+CampaignSpec campaign_from_doc(const json::Value& doc) {
     if (!doc.is_object()) {
         throw support::ConfigError("campaign file must be a YAML mapping");
     }
@@ -53,8 +56,14 @@ CampaignSpec campaign_from_yaml(std::string_view text) {
     }
 
     if (const json::Value* grid = doc.find("grid")) {
-        reject_unknown_keys(*grid, {"solvers", "batch_sizes", "objectives", "targets"},
-                            "grid");
+        reject_unknown_keys(
+            *grid, {"workcells", "solvers", "batch_sizes", "objectives", "targets"},
+            "grid");
+        if (const json::Value* workcells = grid->find("workcells")) {
+            for (const json::Value& w : workcells->as_array()) {
+                spec.axes.workcells.push_back(w.as_string());
+            }
+        }
         if (const json::Value* solvers = grid->find("solvers")) {
             for (const json::Value& s : solvers->as_array()) {
                 spec.axes.solvers.push_back(s.as_string());
@@ -88,12 +97,43 @@ CampaignSpec campaign_from_yaml(std::string_view text) {
     return normalize(std::move(spec));
 }
 
+}  // namespace
+
+CampaignSpec campaign_from_yaml(std::string_view text) {
+    return campaign_from_doc(support::yaml::parse(text));
+}
+
 CampaignSpec campaign_from_file(const std::string& path) {
     std::ifstream file(path);
     if (!file) throw support::Error("io", "cannot open campaign file '" + path + "'");
     std::ostringstream buffer;
     buffer << file.rdbuf();
-    return campaign_from_yaml(buffer.str());
+    json::Value doc = support::yaml::parse(buffer.str());
+    // Scenario spec-file references — grid.workcells entries and the base
+    // config's workcell.scenario — are written relative to the campaign
+    // file, not to wherever the process happens to run. Rebase before
+    // parsing: the base section resolves its scenario during parsing.
+    const std::string base_dir = std::filesystem::path(path).parent_path().string();
+    if (doc.is_object()) {
+        if (json::Value* grid = doc.as_object().find("grid")) {
+            if (grid->is_object()) {
+                if (json::Value* workcells = grid->as_object().find("workcells")) {
+                    if (workcells->is_array()) {
+                        for (json::Value& ref : workcells->as_array()) {
+                            ref = core::rebase_scenario_ref(ref.as_string(), base_dir);
+                        }
+                    }
+                }
+            }
+        }
+        if (json::Value* workcell = doc.as_object().find("workcell")) {
+            if (const json::Value* scenario = workcell->find("scenario")) {
+                workcell->set("scenario", core::rebase_scenario_ref(
+                                              scenario->as_string(), base_dir));
+            }
+        }
+    }
+    return campaign_from_doc(doc);
 }
 
 std::string campaign_to_yaml(const CampaignSpec& raw) {
@@ -108,6 +148,14 @@ std::string campaign_to_yaml(const CampaignSpec& raw) {
     doc.set("campaign", std::move(campaign));
 
     json::Value grid = json::Value::object();
+    // A non-sweeping workcells axis stays implicit — expand_grid ignores
+    // it, and a custom spec's name would not resolve through the
+    // registry on reparse.
+    if (sweeps_workcells(spec)) {
+        json::Value workcells = json::Value::array();
+        for (const std::string& w : spec.axes.workcells) workcells.push_back(w);
+        grid.set("workcells", std::move(workcells));
+    }
     json::Value solvers = json::Value::array();
     for (const std::string& s : spec.axes.solvers) solvers.push_back(s);
     grid.set("solvers", std::move(solvers));

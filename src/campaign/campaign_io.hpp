@@ -8,8 +8,9 @@
 //     base_seed: 100           # optional, default 1
 //     seed_mode: per_cell      # per_cell (default) | per_replicate
 //   grid:                      # every axis optional; omitted axes keep
-//     solvers: [genetic, bayesian]        # ...the base-config value
-//     batch_sizes: [1, 8, 64]
+//     workcells: [baseline, degraded]     # ...the base-config value
+//     solvers: [genetic, bayesian]        # (workcells: scenario names or
+//     batch_sizes: [1, 8, 64]             #  workcell spec file paths)
 //     objectives: [rgb, de2000]
 //     targets: [[120, 120, 120], [200, 40, 80]]
 //   experiment:                # the usual single-experiment document

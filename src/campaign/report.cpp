@@ -42,14 +42,16 @@ std::vector<CellAggregate> aggregate_results(std::span<const CellResult> results
         const CampaignCell& cell = result.cell;
         CellAggregate* group = nullptr;
         for (CellAggregate& g : groups) {
-            if (g.solver == cell.solver && g.batch_size == cell.batch_size &&
-                g.objective == cell.objective && g.target == cell.target) {
+            if (g.workcell == cell.workcell && g.solver == cell.solver &&
+                g.batch_size == cell.batch_size && g.objective == cell.objective &&
+                g.target == cell.target) {
                 group = &g;
                 break;
             }
         }
         if (group == nullptr) {
             CellAggregate fresh;
+            fresh.workcell = cell.workcell;
             fresh.solver = cell.solver;
             fresh.batch_size = cell.batch_size;
             fresh.objective = cell.objective;
@@ -72,8 +74,9 @@ std::vector<CellAggregate> aggregate_results(std::span<const CellResult> results
 json::Value experiment_result_to_json(const core::ColorPickerConfig& config,
                                       const core::ExperimentOutcome& outcome) {
     json::Value doc = json::Value::object();
-    doc.set("schema", "sdlbench.experiment_result.v1");
+    doc.set("schema", "sdlbench.experiment_result.v2");
     doc.set("experiment_id", outcome.experiment_id);
+    doc.set("workcell", config.workcell.scenario);
     doc.set("solver", config.solver);
     doc.set("objective", core::objective_to_string(config.objective));
     doc.set("target", rgb_to_json(config.target));
@@ -132,7 +135,7 @@ json::Value experiment_result_to_json(const core::ColorPickerConfig& config,
 json::Value campaign_results_to_json(const CampaignSpec& spec,
                                      std::span<const CellResult> results) {
     json::Value doc = json::Value::object();
-    doc.set("schema", "sdlbench.campaign_result.v1");
+    doc.set("schema", "sdlbench.campaign_result.v2");
 
     json::Value campaign = json::Value::object();
     campaign.set("name", spec.name);
@@ -142,6 +145,9 @@ json::Value campaign_results_to_json(const CampaignSpec& spec,
                  spec.seed_mode == SeedMode::PerCell ? "per_cell" : "per_replicate");
     campaign.set("cells", static_cast<std::int64_t>(results.size()));
     campaign.set("total_samples", spec.base.total_samples);
+    json::Value workcells = json::Value::array();
+    for (const std::string& w : normalize(spec).axes.workcells) workcells.push_back(w);
+    campaign.set("workcells", std::move(workcells));
     doc.set("campaign", std::move(campaign));
 
     json::Value cells = json::Value::array();
@@ -149,6 +155,7 @@ json::Value campaign_results_to_json(const CampaignSpec& spec,
         json::Value entry = json::Value::object();
         json::Value cell = json::Value::object();
         cell.set("index", static_cast<std::int64_t>(result.cell.index));
+        cell.set("workcell", result.cell.workcell);
         cell.set("solver", result.cell.solver);
         cell.set("batch_size", result.cell.batch_size);
         cell.set("objective", core::objective_to_string(result.cell.objective));
@@ -164,6 +171,7 @@ json::Value campaign_results_to_json(const CampaignSpec& spec,
     json::Value aggregates = json::Value::array();
     for (const CellAggregate& g : aggregate_results(results)) {
         json::Value entry = json::Value::object();
+        entry.set("workcell", g.workcell);
         entry.set("solver", g.solver);
         entry.set("batch_size", g.batch_size);
         entry.set("objective", core::objective_to_string(g.objective));
@@ -181,15 +189,16 @@ json::Value campaign_results_to_json(const CampaignSpec& spec,
 }
 
 std::string campaign_results_to_csv(std::span<const CellResult> results) {
-    support::CsvWriter csv({"cell", "solver", "batch_size", "objective", "target_r",
-                            "target_g", "target_b", "replicate", "seed", "samples",
-                            "best_score", "batches_run", "total_min",
+    support::CsvWriter csv({"cell", "workcell", "solver", "batch_size", "objective",
+                            "target_r", "target_g", "target_b", "replicate", "seed",
+                            "samples", "best_score", "batches_run", "total_min",
                             "time_per_color_min", "commands_completed"});
     for (const CellResult& result : results) {
         const CampaignCell& cell = result.cell;
         const metrics::SdlMetrics& m = result.outcome.metrics;
         csv.add_row(std::vector<std::string>{
-            std::to_string(cell.index), cell.solver, std::to_string(cell.batch_size),
+            std::to_string(cell.index), cell.workcell, cell.solver,
+            std::to_string(cell.batch_size),
             core::objective_to_string(cell.objective), std::to_string(cell.target.r),
             std::to_string(cell.target.g), std::to_string(cell.target.b),
             std::to_string(cell.replicate), std::to_string(cell.config.seed),

@@ -2,10 +2,12 @@
 //
 // One result schema serves both single experiments (sdlbench_run --json)
 // and campaign cells, so downstream tooling parses one shape:
-// "sdlbench.experiment_result.v1". Campaign documents wrap a list of cell
-// results plus replicate-aggregated statistics. Everything serialized
-// here is modeled (simulated) time — host wall time is deliberately kept
-// out so the same spec yields byte-identical JSON on every run.
+// "sdlbench.experiment_result.v2" (v2 added the `workcell` scenario
+// name). Campaign documents ("sdlbench.campaign_result.v2") wrap a list
+// of cell results plus replicate-aggregated statistics. Everything
+// serialized here is modeled (simulated) time — host wall time is
+// deliberately kept out so the same spec yields byte-identical JSON on
+// every run.
 #pragma once
 
 #include <span>
@@ -19,8 +21,9 @@
 namespace sdl::campaign {
 
 /// Statistics over the replicates of one grid point
-/// (solver, batch_size, objective, target).
+/// (workcell, solver, batch_size, objective, target).
 struct CellAggregate {
+    std::string workcell;
     std::string solver;
     int batch_size = 1;
     core::Objective objective = core::Objective::RgbEuclidean;
@@ -38,14 +41,15 @@ struct CellAggregate {
 [[nodiscard]] std::vector<CellAggregate> aggregate_results(
     std::span<const CellResult> results);
 
-/// The shared result schema ("sdlbench.experiment_result.v1"): experiment
-/// id, resolved knobs, the Figure-4 sample series, best match, counters,
-/// and the Table-1 metrics.
+/// The shared result schema ("sdlbench.experiment_result.v2"): experiment
+/// id, resolved knobs incl. the workcell scenario, the Figure-4 sample
+/// series, best match, counters, and the Table-1 metrics.
 [[nodiscard]] support::json::Value experiment_result_to_json(
     const core::ColorPickerConfig& config, const core::ExperimentOutcome& outcome);
 
-/// The campaign document ("sdlbench.campaign_result.v1"): spec echo,
-/// per-cell results, aggregates. Deterministic for a given spec.
+/// The campaign document ("sdlbench.campaign_result.v2"): spec echo,
+/// per-cell results (each recording its workcell scenario), aggregates.
+/// Deterministic for a given spec.
 [[nodiscard]] support::json::Value campaign_results_to_json(
     const CampaignSpec& spec, std::span<const CellResult> results);
 

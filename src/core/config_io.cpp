@@ -1,8 +1,11 @@
 #include "core/config_io.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "core/scenarios.hpp"
+#include "core/workcell_spec.hpp"
 #include "support/common.hpp"
 #include "support/yaml.hpp"
 
@@ -62,10 +65,32 @@ ColorPickerConfig config_from_doc(const json::Value& doc) {
     if (!doc.is_object()) {
         throw support::ConfigError("experiment file must be a YAML mapping");
     }
-    reject_unknown_keys(doc, {"experiment", "plate", "well_volume_ul", "faults", "retry"},
-                        "experiment file");
+    reject_unknown_keys(
+        doc, {"experiment", "workcell", "plate", "well_volume_ul", "faults", "retry"},
+        "experiment file");
 
     ColorPickerConfig config;
+    // The workcell section resolves first: a scenario sets the hardware
+    // baseline, explicit topology keys refine it, and the plain sections
+    // below (plate:, faults:, ...) override whatever the scenario chose.
+    if (const json::Value* workcell = doc.find("workcell")) {
+        reject_unknown_keys(*workcell,
+                            {"scenario", "ot2_count", "sciclops", "pf400", "barty",
+                             "manual_handling_s"},
+                            "workcell");
+        if (const json::Value* scenario = workcell->find("scenario")) {
+            config = apply_workcell_spec(std::move(config),
+                                         resolve_scenario(scenario->as_string()));
+        }
+        config.workcell.ot2_count = static_cast<int>(
+            workcell->get_or("ot2_count", std::int64_t{config.workcell.ot2_count}));
+        config.workcell.has_sciclops =
+            workcell->get_or("sciclops", config.workcell.has_sciclops);
+        config.workcell.has_pf400 = workcell->get_or("pf400", config.workcell.has_pf400);
+        config.workcell.has_barty = workcell->get_or("barty", config.workcell.has_barty);
+        config.workcell.manual_handling = support::Duration::seconds(workcell->get_or(
+            "manual_handling_s", config.workcell.manual_handling.to_seconds()));
+    }
     if (const json::Value* exp = doc.find("experiment")) {
         reject_unknown_keys(*exp,
                             {"target", "total_samples", "batch_size", "solver", "objective",
@@ -122,7 +147,20 @@ ColorPickerConfig config_from_file(const std::string& path) {
     if (!file) throw support::Error("io", "cannot open experiment file '" + path + "'");
     std::ostringstream buffer;
     buffer << file.rdbuf();
-    return config_from_yaml(buffer.str());
+    json::Value doc = support::yaml::parse(buffer.str());
+    // A workcell.scenario spec-file path is written relative to the
+    // experiment file, not to wherever the process happens to run.
+    if (doc.is_object()) {
+        if (json::Value* workcell = doc.as_object().find("workcell")) {
+            if (const json::Value* scenario = workcell->find("scenario")) {
+                const std::string base_dir =
+                    std::filesystem::path(path).parent_path().string();
+                workcell->set("scenario",
+                              rebase_scenario_ref(scenario->as_string(), base_dir));
+            }
+        }
+    }
+    return config_from_doc(doc);
 }
 
 json::Value config_to_doc(const ColorPickerConfig& config) {
@@ -143,6 +181,20 @@ json::Value config_to_doc(const ColorPickerConfig& config) {
     exp.set("date", config.date);
     exp.set("publish", config.publish);
     doc.set("experiment", std::move(exp));
+
+    json::Value workcell = json::Value::object();
+    // A registry scenario name round-trips (config_from_doc re-applies
+    // it); a custom spec's name would not resolve, so only the explicit
+    // topology fields are written for it.
+    if (is_scenario_name(config.workcell.scenario)) {
+        workcell.set("scenario", config.workcell.scenario);
+    }
+    workcell.set("ot2_count", config.workcell.ot2_count);
+    workcell.set("sciclops", config.workcell.has_sciclops);
+    workcell.set("pf400", config.workcell.has_pf400);
+    workcell.set("barty", config.workcell.has_barty);
+    workcell.set("manual_handling_s", config.workcell.manual_handling.to_seconds());
+    doc.set("workcell", std::move(workcell));
 
     json::Value plate = json::Value::object();
     plate.set("rows", config.plate_rows);

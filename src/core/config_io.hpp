@@ -23,6 +23,14 @@ namespace sdl::core {
 ///     stop_threshold: 0.0
 ///     id: my_experiment          # optional
 ///     date: 2023-08-16           # optional
+///   workcell:
+///     scenario: degraded         # applies a named scenario (scenarios.hpp)
+///                                # or a workcell spec file path first ...
+///     ot2_count: 2               # ... then explicit topology overrides
+///     sciclops: true             # presence flags; false = manual stand-in
+///     pf400: true
+///     barty: true
+///     manual_handling_s: 20.0
 ///   plate:
 ///     rows: 8
 ///     cols: 12
@@ -33,7 +41,9 @@ namespace sdl::core {
 ///     max_attempts: 5
 ///     human_rescue: true
 ///
-/// Unknown keys raise ConfigError so typos fail loudly.
+/// The `workcell:` section is resolved before the other sections, so an
+/// explicit `plate:` or `faults:` section overrides what the scenario
+/// set. Unknown keys raise ConfigError so typos fail loudly.
 [[nodiscard]] ColorPickerConfig config_from_yaml(std::string_view text);
 
 /// Loads a config from a file path.

@@ -21,6 +21,11 @@ ColorPickerConfig finalize_config(ColorPickerConfig config) {
     support::check(config.batch_size > 0, "batch_size must be positive");
     support::check(config.batch_size <= config.plate_rows * config.plate_cols,
                    "batch cannot exceed plate capacity");
+    support::check(config.workcell.ot2_count >= 1, "workcell needs at least one OT2");
+    support::check(config.workcell.ot2_count <= 16,
+                   "workcell.ot2_count is capped at 16 liquid handlers");
+    support::check(config.workcell.manual_handling.to_seconds() >= 0.0,
+                   "manual_handling cannot be negative");
     config.sciclops.plate_rows = config.plate_rows;
     config.sciclops.plate_cols = config.plate_cols;
     // Derive device noise streams from the experiment seed so a seed fully

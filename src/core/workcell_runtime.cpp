@@ -1,5 +1,6 @@
 #include "core/workcell_runtime.hpp"
 
+#include "devices/manual.hpp"
 #include "support/common.hpp"
 
 namespace sdl::core {
@@ -11,6 +12,27 @@ void WorkcellRuntime::claim() {
     claimed_ = true;
 }
 
+devices::SciclopsSim& WorkcellRuntime::sciclops() {
+    support::check(sciclops_ != nullptr,
+                   "scenario '" + config_.workcell.scenario +
+                       "' has no sciclops (a manual stand-in handles its actions)");
+    return *sciclops_;
+}
+
+devices::Pf400Sim& WorkcellRuntime::pf400() {
+    support::check(pf400_ != nullptr,
+                   "scenario '" + config_.workcell.scenario +
+                       "' has no pf400 (a manual stand-in handles its actions)");
+    return *pf400_;
+}
+
+devices::BartySim& WorkcellRuntime::barty() {
+    support::check(barty_ != nullptr,
+                   "scenario '" + config_.workcell.scenario +
+                       "' has no barty (a manual stand-in handles its actions)");
+    return *barty_;
+}
+
 WorkcellRuntime::WorkcellRuntime(ColorPickerConfig config)
     : config_(finalize_config(std::move(config))),
       faults_(config_.faults),
@@ -18,21 +40,62 @@ WorkcellRuntime::WorkcellRuntime(ColorPickerConfig config)
       log_(),
       engine_(transport_, registry_, log_, config_.retry),
       flow_(sim_, portal_, config_.flow) {
+    const WorkcellTopology& topology = config_.workcell;
+
     locations_.add_location(wei::locations::kExchange);
     locations_.add_location(wei::locations::kCamera);
-    locations_.add_location(wei::locations::kOt2Deck);
     locations_.add_location(wei::locations::kTrash);
 
-    sciclops_ = std::make_shared<devices::SciclopsSim>(config_.sciclops, plates_, locations_);
-    pf400_ = std::make_shared<devices::Pf400Sim>(config_.pf400, locations_);
-    ot2_ = std::make_shared<devices::Ot2Sim>(config_.ot2, plates_, locations_);
-    barty_ = std::make_shared<devices::BartySim>(config_.barty, ot2_->reservoirs());
+    // Liquid handlers: the primary "ot2" on the canonical deck, extras
+    // ("ot2_2", ...) on their own decks with derived noise streams.
+    for (int i = 0; i < topology.ot2_count; ++i) {
+        devices::Ot2Config ot2_config = config_.ot2;
+        if (i > 0) {
+            ot2_config.name = "ot2_" + std::to_string(i + 1);
+            ot2_config.deck_location = ot2_config.name + ".deck";
+            ot2_config.noise_seed = config_.ot2.noise_seed +
+                                    0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(i);
+        }
+        locations_.add_location(ot2_config.deck_location);
+        ot2s_.push_back(
+            std::make_shared<devices::Ot2Sim>(ot2_config, plates_, locations_));
+        registry_.add(ot2s_.back());
+    }
     camera_ = std::make_shared<devices::CameraSim>(config_.camera, plates_, locations_);
-    registry_.add(sciclops_);
-    registry_.add(pf400_);
-    registry_.add(ot2_);
-    registry_.add(barty_);
     registry_.add(camera_);
+
+    // Handling devices: real instruments, or manual human stand-ins
+    // registered under the same module names so the Figure-2 workflows
+    // resolve their steps unchanged.
+    const auto add_manual = [&](const char* stand_in_for,
+                                std::array<des::Store, 4>* reservoirs) {
+        devices::ManualConfig manual;
+        manual.stand_in_for = stand_in_for;
+        manual.handling = topology.manual_handling;
+        manual.plate_rows = config_.plate_rows;
+        manual.plate_cols = config_.plate_cols;
+        registry_.add(std::make_shared<devices::ManualOperatorSim>(manual, plates_,
+                                                                   locations_, reservoirs));
+    };
+    if (topology.has_sciclops) {
+        sciclops_ =
+            std::make_shared<devices::SciclopsSim>(config_.sciclops, plates_, locations_);
+        registry_.add(sciclops_);
+    } else {
+        add_manual("sciclops", nullptr);
+    }
+    if (topology.has_pf400) {
+        pf400_ = std::make_shared<devices::Pf400Sim>(config_.pf400, locations_);
+        registry_.add(pf400_);
+    } else {
+        add_manual("pf400", nullptr);
+    }
+    if (topology.has_barty) {
+        barty_ = std::make_shared<devices::BartySim>(config_.barty, ot2s_.front()->reservoirs());
+        registry_.add(barty_);
+    } else {
+        add_manual("barty", &ot2s_.front()->reservoirs());
+    }
 }
 
 }  // namespace sdl::core

@@ -1,15 +1,23 @@
 // The simulated RPL workcell as a reusable runtime.
 //
 // WorkcellRuntime owns everything below the application loop: the DES
-// clock, plate/location registries, the five instrument simulators, fault
+// clock, plate/location registries, the instrument simulators, fault
 // injection, the transport, the workflow engine with its event log, and
 // the data plane (portal + Globus flow). ColorPickerApp borrows a runtime
 // and runs the Figure-2 loop on it; other applications (campaign cells,
 // custom drivers) can construct their own runtime and drive the engine
 // directly.
+//
+// The workcell's *shape* is data: config.workcell (a WorkcellTopology,
+// normally produced by applying a WorkcellSpec / named scenario) decides
+// how many OT2s are mounted and which handling devices are real
+// instruments versus manual human stand-ins. The Figure-2 workflows run
+// unchanged on every shape because stand-ins register under the absent
+// device's module name.
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/experiment_config.hpp"
 #include "data/flow.hpp"
@@ -53,10 +61,21 @@ public:
     [[nodiscard]] const wei::EventLog& event_log() const noexcept { return log_; }
 
     // --- instruments
-    [[nodiscard]] devices::SciclopsSim& sciclops() noexcept { return *sciclops_; }
-    [[nodiscard]] devices::Pf400Sim& pf400() noexcept { return *pf400_; }
-    [[nodiscard]] devices::Ot2Sim& ot2() noexcept { return *ot2_; }
-    [[nodiscard]] devices::BartySim& barty() noexcept { return *barty_; }
+    // sciclops()/pf400()/barty() throw LogicError when the scenario
+    // replaced the device with a manual stand-in — check has_*() first
+    // (the stand-in is reachable via registry() under the same name).
+    [[nodiscard]] bool has_sciclops() const noexcept { return sciclops_ != nullptr; }
+    [[nodiscard]] bool has_pf400() const noexcept { return pf400_ != nullptr; }
+    [[nodiscard]] bool has_barty() const noexcept { return barty_ != nullptr; }
+    [[nodiscard]] devices::SciclopsSim& sciclops();
+    [[nodiscard]] devices::Pf400Sim& pf400();
+    [[nodiscard]] devices::BartySim& barty();
+    /// The primary liquid handler ("ot2"); always present.
+    [[nodiscard]] devices::Ot2Sim& ot2() noexcept { return *ot2s_.front(); }
+    /// Every mounted liquid handler, primary first ("ot2", "ot2_2", ...).
+    [[nodiscard]] const std::vector<std::shared_ptr<devices::Ot2Sim>>& ot2s() const noexcept {
+        return ot2s_;
+    }
     [[nodiscard]] devices::CameraSim& camera() noexcept { return *camera_; }
     [[nodiscard]] const devices::CameraSim& camera() const noexcept { return *camera_; }
 
@@ -71,10 +90,10 @@ private:
     wei::PlateRegistry plates_;
     wei::LocationMap locations_;
     wei::ModuleRegistry registry_;
-    std::shared_ptr<devices::SciclopsSim> sciclops_;
-    std::shared_ptr<devices::Pf400Sim> pf400_;
-    std::shared_ptr<devices::Ot2Sim> ot2_;
-    std::shared_ptr<devices::BartySim> barty_;
+    std::shared_ptr<devices::SciclopsSim> sciclops_;  ///< null when manual
+    std::shared_ptr<devices::Pf400Sim> pf400_;        ///< null when manual
+    std::vector<std::shared_ptr<devices::Ot2Sim>> ot2s_;
+    std::shared_ptr<devices::BartySim> barty_;        ///< null when manual
     std::shared_ptr<devices::CameraSim> camera_;
     wei::FaultInjector faults_;
     wei::SimTransport transport_;

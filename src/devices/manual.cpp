@@ -1,0 +1,124 @@
+#include "devices/manual.hpp"
+
+#include "support/common.hpp"
+
+namespace sdl::devices {
+
+namespace json = support::json;
+using support::Volume;
+
+ManualOperatorSim::ManualOperatorSim(ManualConfig config, wei::PlateRegistry& plates,
+                                     wei::LocationMap& locations,
+                                     std::array<des::Store, 4>* reservoirs)
+    : config_(std::move(config)),
+      plates_(plates),
+      locations_(locations),
+      reservoirs_(reservoirs) {
+    std::vector<std::string> actions;
+    if (config_.stand_in_for == "sciclops") {
+        actions = {"get_plate", "status"};
+    } else if (config_.stand_in_for == "pf400") {
+        actions = {"transfer"};
+    } else if (config_.stand_in_for == "barty") {
+        support::check(reservoirs_ != nullptr,
+                       "manual barty stand-in needs the ot2 reservoirs");
+        actions = {"fill_colors", "drain_colors", "refill_colors"};
+    } else {
+        throw support::ConfigError("manual operator can stand in for sciclops, pf400 "
+                                   "or barty, not '" + config_.stand_in_for + "'");
+    }
+    info_ = wei::ModuleInfo{
+        config_.stand_in_for,
+        "Human operator",
+        "manual stand-in for the absent " + config_.stand_in_for,
+        std::move(actions),
+        /*robotic=*/false,  // CCWH counts commands completed *without* humans
+    };
+}
+
+support::Duration ManualOperatorSim::estimate(const wei::ActionRequest& request) const {
+    // A status check is a glance, not a fetch — but it still scales with
+    // the operator's pace so a spec's timing_scale covers every action.
+    if (request.action == "status") return config_.handling * 0.025;
+    return config_.handling;
+}
+
+wei::ActionResult ManualOperatorSim::get_plate() {
+    if (locations_.peek(wei::locations::kExchange).has_value()) {
+        return wei::ActionResult::failure("manual: exchange nest is occupied");
+    }
+    const wei::PlateId id = plates_.create(config_.plate_rows, config_.plate_cols);
+    locations_.place(wei::locations::kExchange, id);
+    json::Value data = json::Value::object();
+    data.set("plate_id", id);
+    return wei::ActionResult::success(std::move(data));
+}
+
+wei::ActionResult ManualOperatorSim::transfer(const wei::ActionRequest& request) {
+    const std::string source = request.args.get_or("source", std::string(""));
+    const std::string target = request.args.get_or("target", std::string(""));
+    if (source.empty() || target.empty()) {
+        return wei::ActionResult::failure("manual: transfer needs 'source' and 'target'");
+    }
+    try {
+        if (!locations_.peek(source).has_value()) {
+            return wei::ActionResult::failure("manual: no plate at '" + source + "'");
+        }
+        if (target != wei::locations::kTrash && locations_.peek(target).has_value()) {
+            return wei::ActionResult::failure("manual: target '" + target +
+                                              "' is occupied");
+        }
+        const wei::PlateId id = locations_.take(source);
+        locations_.place(target, id);
+        json::Value data = json::Value::object();
+        data.set("plate_id", id);
+        data.set("source", source);
+        data.set("target", target);
+        return wei::ActionResult::success(std::move(data));
+    } catch (const support::Error& e) {
+        return wei::ActionResult::failure(std::string("manual: ") + e.what());
+    }
+}
+
+wei::ActionResult ManualOperatorSim::fill() {
+    // Dye is poured from bench-side bottles; unlike barty's bulk vessels
+    // they never run out (the human fetches more).
+    json::Value poured = json::Value::object();
+    for (des::Store& reservoir : *reservoirs_) {
+        const Volume space = reservoir.capacity() - reservoir.level();
+        reservoir.deposit(space);
+        poured.set(reservoir.name(), space.to_microliters());
+    }
+    json::Value data = json::Value::object();
+    data.set("poured_ul", std::move(poured));
+    return wei::ActionResult::success(std::move(data));
+}
+
+wei::ActionResult ManualOperatorSim::execute(const wei::ActionRequest& request) {
+    ++actions_performed_;
+    if (request.action == "status") {
+        return wei::ActionResult::success();
+    }
+    if (request.action == "get_plate") return get_plate();
+    if (request.action == "transfer") return transfer(request);
+    const bool fluid_action = request.action == "fill_colors" ||
+                              request.action == "drain_colors" ||
+                              request.action == "refill_colors";
+    if (fluid_action && reservoirs_ == nullptr) {
+        return wei::ActionResult::failure("manual (" + config_.stand_in_for +
+                                          "): no reservoirs to pour into");
+    }
+    if (request.action == "fill_colors") return fill();
+    if (request.action == "drain_colors") {
+        for (des::Store& reservoir : *reservoirs_) reservoir.drain();
+        return wei::ActionResult::success();
+    }
+    if (request.action == "refill_colors") {
+        for (des::Store& reservoir : *reservoirs_) reservoir.drain();
+        return fill();
+    }
+    return wei::ActionResult::failure("manual (" + config_.stand_in_for +
+                                      "): unknown action '" + request.action + "'");
+}
+
+}  // namespace sdl::devices

@@ -1,0 +1,69 @@
+// manual — a human operator standing in for an absent handling device.
+//
+// Minimal workcells (see core/scenarios.hpp: the `minimal` scenario is
+// camera + OT2 only) still run the unchanged Figure-2 workflows: a
+// ManualOperatorSim is registered under the missing device's module name
+// ("sciclops", "pf400" or "barty") and answers its actions — fetching a
+// plate from storage, carrying it between nests, pouring dye into the
+// reservoirs. Every action takes the configured handling time and is
+// *not* robotic: the paper's CCWH metric counts instrument commands
+// completed without human input, so manual steps are excluded from it by
+// the ModuleInfo::robotic flag, and minimal workcells naturally report a
+// lower CCWH for the same experiment.
+#pragma once
+
+#include <array>
+
+#include "des/resource.hpp"
+#include "devices/timing.hpp"
+#include "wei/module.hpp"
+#include "wei/plate.hpp"
+
+namespace sdl::devices {
+
+struct ManualConfig {
+    /// Module name this operator answers for: sciclops | pf400 | barty.
+    std::string stand_in_for = "pf400";
+    /// Time per handling action (fetch, carry, pour).
+    support::Duration handling = support::Duration::seconds(20.0);
+    /// Plate format fetched by get_plate (the sciclops role).
+    int plate_rows = 8;
+    int plate_cols = 12;
+};
+
+/// Actions (the union of the replaced devices' surfaces; advertised per
+/// role):
+///   get_plate / status            — sciclops role; plates are fetched
+///                                   from an unlimited bench-side stack
+///   transfer                      — pf400 role, same args/semantics
+///   fill_colors / drain_colors / refill_colors — barty role; dye is
+///                                   poured from bottles, never exhausted
+class ManualOperatorSim final : public wei::Module {
+public:
+    /// `reservoirs` may be null unless the role is barty.
+    ManualOperatorSim(ManualConfig config, wei::PlateRegistry& plates,
+                      wei::LocationMap& locations,
+                      std::array<des::Store, 4>* reservoirs);
+
+    [[nodiscard]] const wei::ModuleInfo& info() const noexcept override { return info_; }
+    [[nodiscard]] support::Duration estimate(const wei::ActionRequest& request) const override;
+    [[nodiscard]] wei::ActionResult execute(const wei::ActionRequest& request) override;
+
+    [[nodiscard]] std::uint64_t actions_performed() const noexcept {
+        return actions_performed_;
+    }
+
+private:
+    [[nodiscard]] wei::ActionResult get_plate();
+    [[nodiscard]] wei::ActionResult transfer(const wei::ActionRequest& request);
+    [[nodiscard]] wei::ActionResult fill();
+
+    ManualConfig config_;
+    wei::PlateRegistry& plates_;
+    wei::LocationMap& locations_;
+    std::array<des::Store, 4>* reservoirs_;
+    wei::ModuleInfo info_;
+    std::uint64_t actions_performed_ = 0;
+};
+
+}  // namespace sdl::devices

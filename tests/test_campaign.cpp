@@ -66,6 +66,35 @@ TEST(Campaign, ExpandsFullCartesianGridInFixedOrder) {
     }
 }
 
+TEST(Campaign, WorkcellAxisIsOutermostAndResolvesCellHardware) {
+    CampaignSpec spec = tiny_spec();
+    spec.axes.workcells = {"baseline", "minimal"};
+    const auto cells = expand_grid(spec);
+    ASSERT_EQ(cells.size(), 4u);  // 2 workcells x 2 solvers
+    EXPECT_EQ(cells[0].workcell, "baseline");
+    EXPECT_EQ(cells[1].workcell, "baseline");
+    EXPECT_EQ(cells[2].workcell, "minimal");
+    EXPECT_EQ(cells[3].workcell, "minimal");
+    // The scenario resolved into each cell's config and experiment id.
+    EXPECT_TRUE(cells[0].config.workcell.has_sciclops);
+    EXPECT_FALSE(cells[2].config.workcell.has_sciclops);
+    EXPECT_FALSE(cells[2].config.workcell.has_pf400);
+    EXPECT_FALSE(cells[2].config.workcell.has_barty);
+    EXPECT_NE(cells[2].config.experiment_id.find("minimal"), std::string::npos);
+}
+
+TEST(Campaign, SingleBaseScenarioAxisKeepsBaseHardware) {
+    // An axis of just the base scenario is equivalent to not sweeping:
+    // in-code customizations of the base survive expansion.
+    CampaignSpec spec = tiny_spec();
+    spec.base.faults.command_rejection_prob = 0.25;
+    spec.axes.workcells = {"baseline"};
+    const auto cells = expand_grid(spec);
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_DOUBLE_EQ(cells[0].config.faults.command_rejection_prob, 0.25);
+    EXPECT_EQ(cells[0].config.experiment_id.find("baseline"), std::string::npos);
+}
+
 TEST(Campaign, EmptyAxesFallBackToBaseConfig) {
     CampaignSpec spec;
     spec.base.solver = "anneal";
@@ -172,15 +201,18 @@ TEST(Campaign, ResultJsonCarriesTheSharedSchema) {
 
     const auto cell_doc = experiment_result_to_json(results[0].cell.config,
                                                     results[0].outcome);
-    EXPECT_EQ(cell_doc.at("schema").as_string(), "sdlbench.experiment_result.v1");
+    EXPECT_EQ(cell_doc.at("schema").as_string(), "sdlbench.experiment_result.v2");
+    EXPECT_EQ(cell_doc.at("workcell").as_string(), "baseline");
     EXPECT_EQ(cell_doc.at("samples").size(), 6u);
     EXPECT_TRUE(cell_doc.at("metrics").contains("commands_completed"));
 
     const auto doc = campaign_results_to_json(spec, results);
-    EXPECT_EQ(doc.at("schema").as_string(), "sdlbench.campaign_result.v1");
+    EXPECT_EQ(doc.at("schema").as_string(), "sdlbench.campaign_result.v2");
     EXPECT_EQ(doc.at("cells").size(), 1u);
+    EXPECT_EQ(doc.at("cells").as_array()[0].at("cell").at("workcell").as_string(),
+              "baseline");
     EXPECT_EQ(doc.at("cells").as_array()[0].at("result").at("schema").as_string(),
-              "sdlbench.experiment_result.v1");
+              "sdlbench.experiment_result.v2");
     EXPECT_EQ(doc.at("aggregates").size(), 1u);
 }
 
@@ -193,6 +225,7 @@ TEST(CampaignIo, ParsesFullDocument) {
   base_seed: 42
   seed_mode: per_replicate
 grid:
+  workcells: [baseline, fast_lane]
   solvers: [genetic, bayesian]
   batch_sizes: [2, 8]
   objectives: [rgb, de2000]
@@ -208,6 +241,8 @@ plate:
     EXPECT_EQ(spec.replicates, 2);
     EXPECT_EQ(spec.base_seed, 42u);
     EXPECT_EQ(spec.seed_mode, SeedMode::PerReplicate);
+    EXPECT_EQ(spec.axes.workcells,
+              (std::vector<std::string>{"baseline", "fast_lane"}));
     EXPECT_EQ(spec.axes.solvers, (std::vector<std::string>{"genetic", "bayesian"}));
     EXPECT_EQ(spec.axes.batch_sizes, (std::vector<int>{2, 8}));
     ASSERT_EQ(spec.axes.objectives.size(), 2u);
@@ -217,7 +252,7 @@ plate:
     EXPECT_EQ(spec.base.total_samples, 16);
     EXPECT_EQ(spec.base.plate_rows, 4);
     EXPECT_EQ(spec.base.plate_cols, 6);
-    EXPECT_EQ(cell_count(spec), 2u * 2u * 2u * 2u * 2u);
+    EXPECT_EQ(cell_count(spec), 2u * 2u * 2u * 2u * 2u * 2u);
 }
 
 TEST(CampaignIo, RequiresCampaignSectionAndRejectsUnknownKeys) {
@@ -264,6 +299,26 @@ TEST(CampaignIo, RoundTripThroughYaml) {
     ASSERT_EQ(cells_a.size(), cells_b.size());
     for (std::size_t i = 0; i < cells_a.size(); ++i) {
         EXPECT_EQ(cells_a[i].config.seed, cells_b[i].config.seed);
+        EXPECT_EQ(cells_a[i].config.experiment_id, cells_b[i].config.experiment_id);
+    }
+}
+
+TEST(CampaignIo, WorkcellAxisRoundTripsThroughYaml) {
+    CampaignSpec original;
+    original.name = "scenario_rt";
+    original.axes.workcells = {"degraded", "fast_lane"};
+    original.axes.solvers = {"random"};
+    original.base.total_samples = 4;
+
+    const std::string yaml = campaign_to_yaml(original);
+    EXPECT_NE(yaml.find("workcells"), std::string::npos);
+    const CampaignSpec back = campaign_from_yaml(yaml);
+    EXPECT_EQ(back.axes.workcells, original.axes.workcells);
+    const auto cells_a = expand_grid(original);
+    const auto cells_b = expand_grid(back);
+    ASSERT_EQ(cells_a.size(), cells_b.size());
+    for (std::size_t i = 0; i < cells_a.size(); ++i) {
+        EXPECT_EQ(cells_a[i].workcell, cells_b[i].workcell);
         EXPECT_EQ(cells_a[i].config.experiment_id, cells_b[i].config.experiment_id);
     }
 }

@@ -3,6 +3,8 @@
 //   sdlbench_run <experiment.yaml> [output_dir]
 //   sdlbench_run --preset <name> [output_dir]
 //   sdlbench_run --campaign <campaign.yaml> [output_dir]
+//   sdlbench_run --scenario <name|spec.yaml> [output_dir]
+//   sdlbench_run --list-scenarios
 //
 // Single-experiment mode loads a declarative experiment file (or one of
 // the paper-calibrated presets), runs it on the simulated workcell,
@@ -25,6 +27,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -35,6 +38,8 @@
 #include "core/colorpicker.hpp"
 #include "core/config_io.hpp"
 #include "core/presets.hpp"
+#include "core/scenarios.hpp"
+#include "core/workcell_spec.hpp"
 #include "data/artifacts.hpp"
 #include "metrics/metrics.hpp"
 #include "support/csv.hpp"
@@ -57,6 +62,8 @@ void print_usage(std::FILE* stream) {
                  "usage: sdlbench_run <experiment.yaml> [output_dir]\n"
                  "       sdlbench_run --preset <name> [output_dir]\n"
                  "       sdlbench_run --campaign <campaign.yaml> [output_dir]\n"
+                 "       sdlbench_run --scenario <name|spec.yaml> [output_dir]\n"
+                 "       sdlbench_run --list-scenarios\n"
                  "\n"
                  "options:\n"
                  "  -h, --help         show this help and exit\n"
@@ -65,8 +72,16 @@ void print_usage(std::FILE* stream) {
                  "                     YAML file; names: quickstart, table1,\n"
                  "                     table1_96well, fig3_portal\n"
                  "  --campaign <file>  run a campaign file: a cartesian grid of\n"
-                 "                     solver x batch_size x objective x target x\n"
-                 "                     replicates, in parallel on the thread pool\n"
+                 "                     workcell x solver x batch_size x objective x\n"
+                 "                     target x replicates, in parallel on the\n"
+                 "                     thread pool\n"
+                 "  --scenario <ref>   run the experiment on a named workcell\n"
+                 "                     scenario (see --list-scenarios) or a\n"
+                 "                     workcell spec YAML file; composes with an\n"
+                 "                     experiment file or --preset (default:\n"
+                 "                     the quickstart preset)\n"
+                 "  --list-scenarios   print the workcell scenario registry and\n"
+                 "                     exit\n"
                  "  --json <path>      also write the structured result document\n"
                  "                     (the same schema for single runs and\n"
                  "                     campaign cells); deterministic per spec\n"
@@ -74,7 +89,28 @@ void print_usage(std::FILE* stream) {
                  "Single runs write series.csv, portal.json, metrics.txt,\n"
                  "config.yaml and per-workflow artifacts to [output_dir] (default\n"
                  "sdlbench_out); campaigns write campaign.json and campaign.csv.\n"
-                 "See docs/BENCHMARKS.md for both YAML schemas.\n");
+                 "See docs/BENCHMARKS.md for the experiment and campaign YAML\n"
+                 "schemas and docs/SCENARIOS.md for workcell scenarios.\n");
+}
+
+int list_scenarios() {
+    support::TextTable table({"Scenario", "Devices", "Description"});
+    table.set_alignment({support::TextTable::Align::Left, support::TextTable::Align::Left,
+                         support::TextTable::Align::Left});
+    for (const std::string& name : core::scenario_names()) {
+        const core::WorkcellSpec spec = core::scenario_by_name(name);
+        std::string devices;
+        for (const core::DeviceSpec& device : spec.devices) {
+            if (!devices.empty()) devices += " ";
+            devices += device.name;
+            if (device.count > 1) devices += "x" + std::to_string(device.count);
+        }
+        table.add_row({name, devices, spec.description});
+    }
+    std::printf("Workcell scenarios (pass to --scenario or a campaign's grid.workcells;\n"
+                "YAML sources in examples/scenarios/, schema in docs/SCENARIOS.md):\n\n%s",
+                table.str().c_str());
+    return 0;
 }
 
 core::ColorPickerConfig preset_by_name(const std::string& name) {
@@ -93,10 +129,12 @@ void write_text_file(const std::string& path, const std::string& text) {
 }
 
 int run_single(const core::ColorPickerConfig& config, const std::string& out_dir,
-               const std::string& json_path) {
-    std::printf("Experiment: target %s | N=%d | B=%d | solver=%s | seed=%llu\n",
+               const std::string& json_path, const core::WorkcellSpec* scenario_spec) {
+    std::printf("Experiment: target %s | N=%d | B=%d | solver=%s | workcell=%s | "
+                "seed=%llu\n",
                 config.target.str().c_str(), config.total_samples, config.batch_size,
-                config.solver.c_str(), static_cast<unsigned long long>(config.seed));
+                config.solver.c_str(), config.workcell.scenario.c_str(),
+                static_cast<unsigned long long>(config.seed));
 
     core::ColorPickerApp app(config);
     const core::ExperimentOutcome outcome = app.run();
@@ -118,6 +156,13 @@ int run_single(const core::ColorPickerConfig& config, const std::string& out_dir
     write_text_file(out_dir + "/portal.json", app.portal().to_json().pretty() + "\n");
     write_text_file(out_dir + "/metrics.txt", metrics_text);
     write_text_file(out_dir + "/config.yaml", core::config_to_yaml(app.config()));
+    if (scenario_spec != nullptr) {
+        // config.yaml captures the topology but not a custom spec's
+        // device timings; the resolved spec itself is the full
+        // reproduction artifact (rerun with --scenario workcell.yaml).
+        write_text_file(out_dir + "/workcell.yaml",
+                        core::workcell_spec_to_yaml(*scenario_spec));
+    }
     const std::size_t artifacts =
         data::write_run_artifacts(app.event_log(), out_dir + "/artifacts");
     if (!json_path.empty()) {
@@ -137,9 +182,10 @@ int run_single(const core::ColorPickerConfig& config, const std::string& out_dir
 int run_campaign(const std::string& spec_path, const std::string& out_dir,
                  const std::string& json_path) {
     const campaign::CampaignSpec spec = campaign::campaign_from_file(spec_path);
-    std::printf("Campaign '%s': %zu cells (%zu solvers x %zu batch sizes x %zu "
-                "objectives x %zu targets x %d replicates), N=%d per cell\n",
-                spec.name.c_str(), campaign::cell_count(spec), spec.axes.solvers.size(),
+    std::printf("Campaign '%s': %zu cells (%zu workcells x %zu solvers x %zu batch "
+                "sizes x %zu objectives x %zu targets x %d replicates), N=%d per cell\n",
+                spec.name.c_str(), campaign::cell_count(spec),
+                spec.axes.workcells.size(), spec.axes.solvers.size(),
                 spec.axes.batch_sizes.size(), spec.axes.objectives.size(),
                 spec.axes.targets.size(), spec.replicates, spec.base.total_samples);
 
@@ -153,15 +199,15 @@ int run_campaign(const std::string& spec_path, const std::string& out_dir,
     const campaign::CampaignRunner runner(options);
     const std::vector<campaign::CellResult> results = runner.run(spec);
 
-    support::TextTable table({"Solver", "B", "Objective", "Target", "Reps",
+    support::TextTable table({"Workcell", "Solver", "B", "Objective", "Target", "Reps",
                               "Best (mean±sd)", "Total time", "Time per color"});
-    table.set_alignment({support::TextTable::Align::Left, support::TextTable::Align::Right,
-                         support::TextTable::Align::Left, support::TextTable::Align::Left,
+    table.set_alignment({support::TextTable::Align::Left, support::TextTable::Align::Left,
+                         support::TextTable::Align::Right, support::TextTable::Align::Left,
+                         support::TextTable::Align::Left, support::TextTable::Align::Right,
                          support::TextTable::Align::Right, support::TextTable::Align::Right,
-                         support::TextTable::Align::Right,
                          support::TextTable::Align::Right});
     for (const campaign::CellAggregate& g : campaign::aggregate_results(results)) {
-        table.add_row({g.solver, std::to_string(g.batch_size),
+        table.add_row({g.workcell, g.solver, std::to_string(g.batch_size),
                        core::objective_to_string(g.objective), g.target.str(),
                        std::to_string(g.replicates),
                        support::fmt_double(g.best_score.mean(), 2) + " ± " +
@@ -199,10 +245,14 @@ int main(int argc, char** argv) {
             std::printf("sdlbench_run %s\n", kVersion);
             return 0;
         }
+        if (a == "--list-scenarios") {
+            return list_scenarios();
+        }
     }
 
     std::string preset;
     std::string campaign_path;
+    std::string scenario;
     std::string json_path;
     for (auto it = args.begin(); it != args.end();) {
         const auto take_value = [&](const char* flag, std::string& into) {
@@ -218,6 +268,8 @@ int main(int argc, char** argv) {
             if (!take_value("--preset", preset)) return 2;
         } else if (*it == "--campaign") {
             if (!take_value("--campaign", campaign_path)) return 2;
+        } else if (*it == "--scenario") {
+            if (!take_value("--scenario", scenario)) return 2;
         } else if (*it == "--json") {
             if (!take_value("--json", json_path)) return 2;
         } else {
@@ -225,17 +277,30 @@ int main(int argc, char** argv) {
         }
     }
 
-    const bool has_mode_flag = !preset.empty() || !campaign_path.empty();
+    const bool has_mode_flag =
+        !preset.empty() || !campaign_path.empty() || !scenario.empty();
     if (!preset.empty() && !campaign_path.empty()) {
         std::fprintf(stderr, "error: --preset and --campaign are mutually exclusive\n");
         return 2;
     }
-    if ((args.empty() && !has_mode_flag) || args.size() > (has_mode_flag ? 1u : 2u)) {
+    if (!scenario.empty() && !campaign_path.empty()) {
+        std::fprintf(stderr,
+                     "error: --scenario applies to single runs; campaigns sweep "
+                     "scenarios via the file's grid.workcells axis\n");
+        return 2;
+    }
+    const bool positional_is_file =
+        !args.empty() && (args[0].ends_with(".yaml") || args[0].ends_with(".yml"));
+    // With only --scenario, a YAML positional is the experiment file the
+    // scenario composes with, not the output directory.
+    const bool scenario_with_file =
+        preset.empty() && campaign_path.empty() && positional_is_file;
+    const std::size_t max_positionals = has_mode_flag && !scenario_with_file ? 1u : 2u;
+    if ((args.empty() && !has_mode_flag) || args.size() > max_positionals) {
         print_usage(stderr);
         return 2;
     }
-    if (has_mode_flag && !args.empty() &&
-        (args[0].ends_with(".yaml") || args[0].ends_with(".yml"))) {
+    if ((!preset.empty() || !campaign_path.empty()) && positional_is_file) {
         std::fprintf(stderr,
                      "error: got both a mode flag and experiment file '%s' — pass one "
                      "or the other\n",
@@ -243,7 +308,7 @@ int main(int argc, char** argv) {
         return 2;
     }
     support::set_log_level(support::LogLevel::Warn);
-    const std::size_t out_dir_index = has_mode_flag ? 0 : 1;
+    const std::size_t out_dir_index = (has_mode_flag && !scenario_with_file) ? 0 : 1;
     const std::string out_dir =
         args.size() > out_dir_index ? args[out_dir_index] : "sdlbench_out";
 
@@ -251,9 +316,21 @@ int main(int argc, char** argv) {
         if (!campaign_path.empty()) {
             return run_campaign(campaign_path, out_dir, json_path);
         }
-        const core::ColorPickerConfig config =
-            preset.empty() ? core::config_from_file(args[0]) : preset_by_name(preset);
-        return run_single(config, out_dir, json_path);
+        core::ColorPickerConfig config;
+        if (!preset.empty()) {
+            config = preset_by_name(preset);
+        } else if (scenario_with_file || scenario.empty()) {
+            config = core::config_from_file(args[0]);
+        } else {
+            config = core::preset_quickstart();
+        }
+        std::optional<core::WorkcellSpec> scenario_spec;
+        if (!scenario.empty()) {
+            scenario_spec = core::resolve_scenario(scenario);
+            config = core::apply_workcell_spec(std::move(config), *scenario_spec);
+        }
+        return run_single(config, out_dir, json_path,
+                          scenario_spec ? &*scenario_spec : nullptr);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
