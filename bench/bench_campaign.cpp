@@ -5,14 +5,18 @@
 // thread pool, prints the per-cell summary, and writes
 // BENCH_campaign.json: host wall time plus modeled (simulated) time per
 // cell — the repo's perf trajectory file, collected as a CI artifact.
+// Also measures the checkpoint layer's overhead (journal write + resume
+// validation, campaign/checkpoint.hpp) and records it in the JSON.
 //
 //   bench_campaign [--quick]   # --quick: 2-cell smoke grid for CI debug
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
+#include "campaign/checkpoint.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "core/presets.hpp"
@@ -82,6 +86,31 @@ int main(int argc, char** argv) {
     std::printf("\n%zu cells: %.1f modeled lab-hours simulated in %.1f wall-seconds.\n",
                 results.size(), modeled_minutes_sum / 60.0, total_wall_seconds);
 
+    // Checkpoint overhead: what journaling every cell costs at run time,
+    // and what a resume pays to validate the journal against the
+    // re-expanded grid before skipping completed cells.
+    const std::string journal_dir = "BENCH_campaign_journal";
+    std::filesystem::create_directories(journal_dir);
+    auto t0 = std::chrono::steady_clock::now();
+    {
+        campaign::CheckpointJournal journal(journal_dir, spec, results.size());
+        for (const campaign::CellResult& result : results) journal.append(result);
+    }
+    const double journal_write_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const auto journal_bytes = static_cast<std::int64_t>(
+        std::filesystem::file_size(campaign::journal_path(journal_dir)));
+    t0 = std::chrono::steady_clock::now();
+    const campaign::LoadedJournal loaded = campaign::load_journal(
+        campaign::journal_path(journal_dir), spec, campaign::expand_grid(spec));
+    const double resume_load_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    std::filesystem::remove_all(journal_dir);
+    std::printf("Checkpointing: journal %zu cells (%.1f KiB) in %.1f ms; resume "
+                "validation %.1f ms.\n",
+                loaded.cells.size(), static_cast<double>(journal_bytes) / 1024.0,
+                journal_write_seconds * 1e3, resume_load_seconds * 1e3);
+
     // The perf trajectory file (uploaded as a CI artifact).
     support::json::Value bench = support::json::Value::object();
     bench.set("schema", "sdlbench.bench_campaign.v1");
@@ -102,6 +131,11 @@ int main(int argc, char** argv) {
         cells.push_back(std::move(cell));
     }
     bench.set("cells_detail", std::move(cells));
+    support::json::Value checkpoint = support::json::Value::object();
+    checkpoint.set("journal_write_seconds", journal_write_seconds);
+    checkpoint.set("resume_load_seconds", resume_load_seconds);
+    checkpoint.set("journal_bytes", journal_bytes);
+    bench.set("checkpoint", std::move(checkpoint));
     {
         std::ofstream out("BENCH_campaign.json", std::ios::binary);
         out << bench.pretty() << "\n";

@@ -7,12 +7,16 @@
 // vision — across several seeds and reports the final best score per
 // solver. The oracle row is the workcell's noise floor: no optimizer can
 // beat it, because it always mixes the analytically exact recipe.
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/presets.hpp"
+#include "solver/bayes.hpp"
 #include "support/log.hpp"
+#include "support/random.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -77,5 +81,47 @@ int main() {
                 "anneal, pattern) beat random; oracle defines the noise floor. The\n"
                 "paper found no systematic genetic-vs-bayesian winner; see\n"
                 "EXPERIMENTS.md for how our measurement compares.\n");
+
+    // GP hot path: absorbing one observation at fixed hyperparameters via
+    // the rank-1 Cholesky extension (GaussianProcess::observe) vs the old
+    // full O(n³) refit per point. Same data, same hyperparameters.
+    {
+        constexpr std::size_t kBase = 192;
+        constexpr std::size_t kAdded = 32;
+        support::Rng rng(7);
+        std::vector<std::vector<double>> xs;
+        std::vector<double> ys;
+        for (std::size_t i = 0; i < kBase + kAdded; ++i) {
+            std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform(),
+                                  rng.uniform()};
+            ys.push_back(std::sin(3.0 * x[0]) + x[1] * x[1] + 0.05 * rng.normal(0, 1));
+            xs.push_back(std::move(x));
+        }
+        const auto clock = [] { return std::chrono::steady_clock::now(); };
+
+        auto t0 = clock();
+        solver::GaussianProcess refit;
+        for (std::size_t n = kBase; n <= kBase + kAdded; ++n) {
+            refit.fit({xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(n)},
+                      {ys.begin(), ys.begin() + static_cast<std::ptrdiff_t>(n)},
+                      /*optimize=*/false);
+        }
+        const double refit_s = std::chrono::duration<double>(clock() - t0).count();
+
+        t0 = clock();
+        solver::GaussianProcess incremental;
+        incremental.fit({xs.begin(), xs.begin() + kBase},
+                        {ys.begin(), ys.begin() + kBase}, /*optimize=*/false);
+        for (std::size_t i = kBase; i < kBase + kAdded; ++i) {
+            incremental.observe(xs[i], ys[i]);
+        }
+        const double incr_s = std::chrono::duration<double>(clock() - t0).count();
+
+        std::printf("\nGP update path (%zu -> %zu points, fixed hyperparams):\n"
+                    "  full refit per point: %8.2f ms\n"
+                    "  rank-1 observe():     %8.2f ms   (%.1fx faster)\n",
+                    kBase, kBase + kAdded, refit_s * 1e3, incr_s * 1e3,
+                    incr_s > 0.0 ? refit_s / incr_s : 0.0);
+    }
     return 0;
 }

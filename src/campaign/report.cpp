@@ -1,15 +1,14 @@
 #include "campaign/report.hpp"
 
-#include <cstdio>
+#include <filesystem>
 
 #include "core/config_io.hpp"
+#include "support/atomic_io.hpp"
 #include "support/csv.hpp"
 
 namespace sdl::campaign {
 
 namespace json = support::json;
-
-namespace {
 
 json::Value rgb_to_json(color::Rgb8 c) {
     json::Value v = json::Value::array();
@@ -19,11 +18,7 @@ json::Value rgb_to_json(color::Rgb8 c) {
     return v;
 }
 
-std::string fmt_g(double x) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.6g", x);
-    return buf;
-}
+namespace {
 
 json::Value stats_to_json(const support::OnlineStats& s) {
     json::Value v = json::Value::object();
@@ -203,11 +198,23 @@ std::string campaign_results_to_csv(std::span<const CellResult> results) {
             std::to_string(cell.target.g), std::to_string(cell.target.b),
             std::to_string(cell.replicate), std::to_string(cell.config.seed),
             std::to_string(result.outcome.samples.size()),
-            fmt_g(result.outcome.best_score),
-            std::to_string(result.outcome.batches_run), fmt_g(m.total_time.to_minutes()),
-            fmt_g(m.time_per_color.to_minutes()), std::to_string(m.commands_completed)});
+            support::fmt_roundtrip(result.outcome.best_score),
+            std::to_string(result.outcome.batches_run),
+            support::fmt_roundtrip(m.total_time.to_minutes()),
+            support::fmt_roundtrip(m.time_per_color.to_minutes()),
+            std::to_string(m.commands_completed)});
     }
     return csv.str();
+}
+
+std::string write_campaign_outputs(const std::string& out_dir, const CampaignSpec& spec,
+                                   std::span<const CellResult> results) {
+    std::filesystem::create_directories(out_dir);
+    std::string doc_text = campaign_results_to_json(spec, results).pretty();
+    doc_text += "\n";
+    support::atomic_write(out_dir + "/campaign.json", doc_text);
+    support::atomic_write(out_dir + "/campaign.csv", campaign_results_to_csv(results));
+    return doc_text;
 }
 
 }  // namespace sdl::campaign

@@ -41,6 +41,11 @@ struct CellAggregate {
 [[nodiscard]] std::vector<CellAggregate> aggregate_results(
     std::span<const CellResult> results);
 
+/// The one [r, g, b] JSON form every campaign document uses — shared by
+/// the reports and the checkpoint journal so their encodings cannot
+/// drift apart (the byte-identity contract depends on it).
+[[nodiscard]] support::json::Value rgb_to_json(color::Rgb8 c);
+
 /// The shared result schema ("sdlbench.experiment_result.v2"): experiment
 /// id, resolved knobs incl. the workcell scenario, the Figure-4 sample
 /// series, best match, counters, and the Table-1 metrics.
@@ -54,6 +59,16 @@ struct CellAggregate {
     const CampaignSpec& spec, std::span<const CellResult> results);
 
 /// One summary row per cell (no sample series) for spreadsheet use.
+/// Numeric cells use shortest-round-trip formatting (support::
+/// fmt_roundtrip), so scores and times in the CSV parse back to exactly
+/// the doubles campaign.json carries.
 [[nodiscard]] std::string campaign_results_to_csv(std::span<const CellResult> results);
+
+/// Writes the campaign document set — campaign.json + campaign.csv — to
+/// `out_dir` (created if needed), both through support::atomic_write so a
+/// crash mid-write cannot leave a torn report that a resume would then
+/// trust. Returns the campaign.json text (for `--json` duplication).
+std::string write_campaign_outputs(const std::string& out_dir, const CampaignSpec& spec,
+                                   std::span<const CellResult> results);
 
 }  // namespace sdl::campaign

@@ -1,7 +1,7 @@
 #include "campaign/runner.hpp"
 
-#include <atomic>
 #include <chrono>
+#include <mutex>
 #include <utility>
 
 #include "core/colorpicker.hpp"
@@ -16,12 +16,25 @@ std::vector<CellResult> CampaignRunner::run(const CampaignSpec& spec) const {
 std::vector<CellResult> CampaignRunner::run(const CampaignSpec& spec,
                                             support::ThreadPool& pool) const {
     std::vector<CampaignCell> cells = expand_grid(spec);
-    const std::size_t total = cells.size();
     if (options_.log_progress) {
-        support::log_info("campaign", "'", spec.name, "': ", total, " cells on ",
+        support::log_info("campaign", "'", spec.name, "': ", cells.size(), " cells on ",
                           pool.size(), " workers");
     }
-    std::atomic<std::size_t> done{0};
+    return run_cells(std::move(cells), pool);
+}
+
+std::vector<CellResult> CampaignRunner::run_cells(std::vector<CampaignCell> cells) const {
+    return run_cells(std::move(cells), support::global_pool());
+}
+
+std::vector<CellResult> CampaignRunner::run_cells(std::vector<CampaignCell> cells,
+                                                  support::ThreadPool& pool) const {
+    const std::size_t total = cells.size();
+    // Serializes completion handling: the progress log line and the
+    // on_cell_done hook (see runner.hpp). Pool workers would otherwise
+    // interleave a journaling callback's writes.
+    std::mutex done_mutex;
+    std::size_t done = 0;
 
     support::ParallelOptions parallel;
     parallel.max_workers = options_.max_workers;
@@ -36,14 +49,19 @@ std::vector<CellResult> CampaignRunner::run(const CampaignSpec& spec,
             result.wall_seconds =
                 std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
                     .count();
-            const std::size_t finished = done.fetch_add(1) + 1;
-            if (options_.log_progress) {
-                support::log_info("campaign", "[", finished, "/", total, "] ",
-                                  result.cell.config.experiment_id,
-                                  " best=", result.outcome.best_score, " (",
-                                  result.outcome.samples.size(), " samples)");
+            {
+                std::lock_guard lock(done_mutex);
+                const std::size_t finished = ++done;
+                if (options_.log_progress) {
+                    support::log_info("campaign", "[", finished, "/", total, "] ",
+                                      result.cell.config.experiment_id,
+                                      " best=", result.outcome.best_score, " (",
+                                      result.outcome.samples.size(), " samples)");
+                }
+                if (options_.on_cell_done) {
+                    options_.on_cell_done(result, finished, total);
+                }
             }
-            if (options_.on_cell_done) options_.on_cell_done(result, finished, total);
             return result;
         },
         parallel);

@@ -32,8 +32,12 @@ struct CampaignRunnerOptions {
     std::size_t chunk = 1;
     /// Log one line per finished cell (level info, channel "campaign").
     bool log_progress = true;
-    /// Extra per-cell completion hook (e.g. CLI progress output). Called
-    /// concurrently from worker threads, completion order.
+    /// Extra per-cell completion hook (e.g. CLI progress output or the
+    /// checkpoint journal). Called in completion order. Guarantee: the
+    /// runner serializes every invocation (and the progress log line)
+    /// behind one mutex, so the hook never runs concurrently with itself
+    /// — a journaling callback can append to a shared file without its
+    /// own locking. Keep it fast; cells block on the mutex while it runs.
     std::function<void(const CellResult&, std::size_t done, std::size_t total)>
         on_cell_done;
 };
@@ -48,6 +52,15 @@ public:
     /// Same, on an explicit pool.
     [[nodiscard]] std::vector<CellResult> run(const CampaignSpec& spec,
                                               support::ThreadPool& pool) const;
+
+    /// Runs an explicit subset of expanded cells (a shard, or the cells a
+    /// resumed run still owes) on the process-wide pool. Results keep the
+    /// order of `cells`, which need not be contiguous in the grid.
+    [[nodiscard]] std::vector<CellResult> run_cells(std::vector<CampaignCell> cells) const;
+
+    /// Same, on an explicit pool.
+    [[nodiscard]] std::vector<CellResult> run_cells(std::vector<CampaignCell> cells,
+                                                    support::ThreadPool& pool) const;
 
 private:
     CampaignRunnerOptions options_;

@@ -52,6 +52,28 @@ Vec Cholesky::solve(const Vec& b) const {
     return x;
 }
 
+void Cholesky::extend(const Vec& b, double c) {
+    const std::size_t n = size();
+    support::check(b.size() == n, "cholesky extend: size mismatch");
+    // New bottom row: l = L⁻¹ b — the same recurrence a full
+    // factorization would run for row n, in the same accumulation order.
+    const Vec l = solve_lower(b);
+    double d2 = c;
+    for (std::size_t k = 0; k < n; ++k) d2 -= l[k] * l[k];
+    if (!(d2 > 0.0) || !std::isfinite(d2)) {
+        throw support::Error("linalg",
+                             "extend: matrix is not positive definite (pivot " +
+                                 std::to_string(n) + ")");
+    }
+    Matrix grown(n + 1, n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) grown(i, j) = l_(i, j);
+    }
+    for (std::size_t k = 0; k < n; ++k) grown(n, k) = l[k];
+    grown(n, n) = std::sqrt(d2);
+    l_ = std::move(grown);
+}
+
 double Cholesky::log_det() const noexcept {
     double s = 0.0;
     for (std::size_t i = 0; i < size(); ++i) s += std::log(l_(i, i));

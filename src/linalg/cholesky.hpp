@@ -23,6 +23,15 @@ public:
     /// log(det(A)) = 2 * sum(log(L_ii)); needed by GP marginal likelihood.
     [[nodiscard]] double log_det() const noexcept;
 
+    /// Rank-1 extension: grows the factor of the n×n matrix A to the
+    /// factor of [[A, b], [bᵀ, c]] in O(n²) — one forward substitution
+    /// for the new row plus a copy — instead of the O(n³) refactorization.
+    /// The arithmetic matches a from-scratch Cholesky of the extended
+    /// matrix operation for operation, so the result is bitwise identical
+    /// to refactoring. Throws Error("linalg") when the extended matrix is
+    /// not positive definite (the factor is left unchanged).
+    void extend(const Vec& b, double c);
+
     [[nodiscard]] const Matrix& lower() const noexcept { return l_; }
     [[nodiscard]] std::size_t size() const noexcept { return l_.rows(); }
 

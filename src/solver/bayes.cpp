@@ -1,6 +1,7 @@
 #include "solver/bayes.hpp"
 
 #include <cmath>
+#include <memory>
 #include <numbers>
 
 #include "linalg/matrix.hpp"
@@ -25,7 +26,7 @@ double GaussianProcess::kernel(std::span<const double> a, std::span<const double
     return p.signal_var * std::exp(-0.5 * d2 / (p.lengthscale * p.lengthscale));
 }
 
-void GaussianProcess::factorize(const Hyperparams& p) {
+linalg::Matrix GaussianProcess::kernel_matrix(const Hyperparams& p) const {
     const std::size_t n = xs_.size();
     linalg::Matrix k(n, n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -36,27 +37,61 @@ void GaussianProcess::factorize(const Hyperparams& p) {
         }
         k(i, i) += p.noise_var;
     }
-    chol_ = std::make_unique<linalg::Cholesky>(linalg::cholesky_with_jitter(std::move(k)));
+    return k;
+}
+
+double GaussianProcess::lml_terms(const linalg::Cholesky& chol,
+                                  const linalg::Vec& alpha) const {
+    const double fit_term = linalg::dot(ys_std_, alpha);
+    return -0.5 * fit_term - 0.5 * chol.log_det() -
+           0.5 * static_cast<double>(xs_.size()) * std::log(2.0 * std::numbers::pi);
+}
+
+void GaussianProcess::factorize(const Hyperparams& p) {
+    chol_ = std::make_unique<linalg::Cholesky>(
+        linalg::cholesky_with_jitter(kernel_matrix(p)));
     alpha_ = chol_->solve(ys_std_);
     params_ = p;
 }
 
+namespace {
+bool same_params(const GaussianProcess::Hyperparams& a,
+                 const GaussianProcess::Hyperparams& b) noexcept {
+    return a.lengthscale == b.lengthscale && a.noise_var == b.noise_var &&
+           a.signal_var == b.signal_var;
+}
+}  // namespace
+
 double GaussianProcess::log_marginal_likelihood(const Hyperparams& p) const {
-    const std::size_t n = xs_.size();
-    linalg::Matrix k(n, n);
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j <= i; ++j) {
-            const double v = kernel(xs_[i], xs_[j], p);
-            k(i, j) = v;
-            k(j, i) = v;
-        }
-        k(i, i) += p.noise_var;
+    // At the fitted hyperparameters the factor and K⁻¹y are already in
+    // hand; evaluating the LML there must not rebuild the kernel matrix.
+    if (chol_ != nullptr && chol_->size() == xs_.size() && same_params(p, params_)) {
+        return lml_terms(*chol_, alpha_);
     }
-    const linalg::Cholesky chol = linalg::cholesky_with_jitter(std::move(k));
-    const linalg::Vec alpha = chol.solve(ys_std_);
-    const double fit_term = linalg::dot(ys_std_, alpha);
-    return -0.5 * fit_term - 0.5 * chol.log_det() -
-           0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+    const linalg::Cholesky chol = linalg::cholesky_with_jitter(kernel_matrix(p));
+    return lml_terms(chol, chol.solve(ys_std_));
+}
+
+void GaussianProcess::observe(std::vector<double> x, double y) {
+    support::check(fitted() && chol_ != nullptr, "GP observe before fit");
+    support::check(x.size() == xs_.front().size(), "GP observe: dimension mismatch");
+    const std::size_t n = xs_.size();
+    linalg::Vec b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = kernel(xs_[i], x, params_);
+    const double c = kernel(x, x, params_) + params_.noise_var;
+    xs_.push_back(std::move(x));
+    ys_raw_.push_back(y);
+    // Standardization is frozen at the last full fit (see header).
+    ys_std_.push_back((y - y_mean_) / y_scale_);
+    try {
+        chol_->extend(b, c);
+    } catch (const support::Error&) {
+        // Pathological geometry (e.g. an exact duplicate with negligible
+        // noise): fall back to the jittered full refit.
+        factorize(params_);
+        return;
+    }
+    alpha_ = chol_->solve(ys_std_);
 }
 
 void GaussianProcess::fit(std::vector<std::vector<double>> xs, std::vector<double> ys,
@@ -79,21 +114,44 @@ void GaussianProcess::fit(std::vector<std::vector<double>> xs, std::vector<doubl
         ys_std_[i] = (ys_raw_[i] - y_mean_) / y_scale_;
     }
 
+    // The previous fit's factor describes other data; drop it so the LML
+    // fast path cannot reuse it by accident during the grid search.
+    chol_.reset();
+    alpha_.clear();
+
+    if (!optimize) {
+        factorize(params_);
+        return;
+    }
+    // Grid-search hyperparameters by LML, keeping the winning candidate's
+    // factor and K⁻¹y so the chosen kernel matrix is factored exactly
+    // once — the old flow re-factorized the winner from scratch.
+    double best_lml = -1e300;
     Hyperparams best = params_;
-    if (optimize) {
-        double best_lml = -1e300;
-        for (const double lengthscale : {0.15, 0.3, 0.6, 1.2}) {
-            for (const double noise : {1e-3, 1e-2, 1e-1}) {
-                const Hyperparams p{lengthscale, noise, 1.0};
-                const double lml = log_marginal_likelihood(p);
-                if (lml > best_lml) {
-                    best_lml = lml;
-                    best = p;
-                }
+    std::unique_ptr<linalg::Cholesky> best_chol;
+    linalg::Vec best_alpha;
+    for (const double lengthscale : {0.15, 0.3, 0.6, 1.2}) {
+        for (const double noise : {1e-3, 1e-2, 1e-1}) {
+            const Hyperparams p{lengthscale, noise, 1.0};
+            auto chol = std::make_unique<linalg::Cholesky>(
+                linalg::cholesky_with_jitter(kernel_matrix(p)));
+            linalg::Vec alpha = chol->solve(ys_std_);
+            const double lml = lml_terms(*chol, alpha);
+            if (lml > best_lml) {
+                best_lml = lml;
+                best = p;
+                best_chol = std::move(chol);
+                best_alpha = std::move(alpha);
             }
         }
     }
-    factorize(best);
+    if (best_chol == nullptr) {
+        factorize(best);  // unreachable unless the grid is empty
+        return;
+    }
+    chol_ = std::move(best_chol);
+    alpha_ = std::move(best_alpha);
+    params_ = best;
 }
 
 GaussianProcess::Prediction GaussianProcess::predict(std::span<const double> x) const {
@@ -155,14 +213,19 @@ std::vector<std::vector<double>> BayesSolver::ask(std::size_t n) {
         ys.push_back(archive()[i].score);
     }
 
+    // One full fit (with hyperparameter search) per batch; the
+    // constant-liar points are then absorbed with O(n²) rank-1 updates at
+    // the fitted hyperparameters and frozen standardization, instead of
+    // re-fitting a fresh O(n³) GP (which also forgot the optimized
+    // hyperparameters) for every pick.
+    GaussianProcess gp;
+    gp.fit(xs, ys, /*optimize=*/true);
+    double best_y = ys.front();
+    for (const double y : ys) best_y = std::min(best_y, y);
+
     // Constant liar: after each pick, pretend the pick returned the
     // incumbent best so the next pick explores elsewhere.
     for (std::size_t pick = 0; pick < n; ++pick) {
-        GaussianProcess gp;
-        gp.fit(xs, ys, /*optimize=*/pick == 0);  // re-optimize once per batch
-        double best_y = ys.front();
-        for (const double y : ys) best_y = std::min(best_y, y);
-
         std::vector<double> best_candidate = random_point();
         double best_ei = -1.0;
         for (std::size_t c = 0; c < config_.candidates; ++c) {
@@ -187,8 +250,7 @@ std::vector<std::vector<double>> BayesSolver::ask(std::size_t n) {
                 best_candidate = std::move(candidate);
             }
         }
-        xs.push_back(best_candidate);
-        ys.push_back(best_y);  // the lie
+        if (pick + 1 < n) gp.observe(best_candidate, best_y);  // the lie
         proposals.push_back(std::move(best_candidate));
     }
     return proposals;

@@ -29,9 +29,21 @@ public:
 
     /// Fits the GP to (xs, ys). When `optimize` is true, a small grid of
     /// lengthscales and noise levels is scored by log marginal likelihood
-    /// and the best is kept.
+    /// and the best is kept — the winning candidate's Cholesky factor is
+    /// reused directly, so the kernel matrix is never rebuilt for the
+    /// chosen hyperparameters.
     void fit(std::vector<std::vector<double>> xs, std::vector<double> ys,
              bool optimize = true);
+
+    /// Incrementally absorbs one observation at the current
+    /// hyperparameters: extends the Cholesky factor by the new row
+    /// (rank-1 update, O(n²)) instead of refitting the full O(n³)
+    /// factorization. The target standardization (mean/scale) stays
+    /// frozen at the last fit() so the existing kernel rows remain
+    /// valid; refit when the data distribution shifts. The updated
+    /// factor is bitwise identical to a from-scratch refactorization at
+    /// the same hyperparameters and standardization.
+    void observe(std::vector<double> x, double y);
 
     [[nodiscard]] bool fitted() const noexcept { return !xs_.empty(); }
     [[nodiscard]] std::size_t size() const noexcept { return xs_.size(); }
@@ -45,10 +57,15 @@ public:
     [[nodiscard]] Prediction predict(std::span<const double> x) const;
 
     /// Log marginal likelihood of the standardized targets under `p`.
+    /// When `p` equals the fitted hyperparameters, the existing factor
+    /// and K⁻¹y are reused instead of rebuilding the kernel matrix.
     [[nodiscard]] double log_marginal_likelihood(const Hyperparams& p) const;
 
 private:
     void factorize(const Hyperparams& p);
+    [[nodiscard]] linalg::Matrix kernel_matrix(const Hyperparams& p) const;
+    [[nodiscard]] double lml_terms(const linalg::Cholesky& chol,
+                                   const linalg::Vec& alpha) const;
     [[nodiscard]] double kernel(std::span<const double> a, std::span<const double> b,
                                 const Hyperparams& p) const noexcept;
 

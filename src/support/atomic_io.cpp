@@ -1,0 +1,170 @@
+#include "support/atomic_io.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "support/common.hpp"
+
+namespace sdl::support {
+
+namespace {
+
+long current_pid() {
+#if defined(_WIN32)
+    return static_cast<long>(_getpid());
+#else
+    return static_cast<long>(::getpid());
+#endif
+}
+
+#if !defined(_WIN32)
+// Makes a directory-entry change (create, rename) itself durable: data
+// fsyncs alone don't persist the *name*, so after a power loss the file
+// could vanish despite every write having been acknowledged.
+void fsync_parent_dir(const std::string& path) noexcept {
+    const std::string dir = std::filesystem::path(path).parent_path().string();
+    const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+#endif
+
+}  // namespace
+
+void atomic_write(const std::string& path, std::string_view content) {
+    // The temp name carries the pid (distinct concurrent processes) and a
+    // process-wide sequence number (distinct concurrent threads), so no
+    // two writers ever share a temp file; whoever renames last wins with
+    // a complete document.
+    static std::atomic<unsigned long> sequence{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(current_pid()) + "." +
+        std::to_string(sequence.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+        if (!file) throw Error("io", "cannot open '" + tmp + "' for writing");
+        file.write(content.data(), static_cast<std::streamsize>(content.size()));
+        file.flush();
+        if (!file) {
+            file.close();
+            std::error_code ignored;
+            std::filesystem::remove(tmp, ignored);
+            throw Error("io", "failed writing '" + tmp + "'");
+        }
+    }
+#if !defined(_WIN32)
+    // Push the temp file's bytes to stable storage before the rename
+    // publishes it, so a machine crash cannot surface the new name with
+    // empty/partial content.
+    const int fd = ::open(tmp.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+#endif
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::error_code ignored;
+        std::filesystem::remove(tmp, ignored);
+        throw Error("io", "cannot rename '" + tmp + "' to '" + path +
+                              "': " + ec.message());
+    }
+#if !defined(_WIN32)
+    fsync_parent_dir(path);  // make the rename itself durable
+#endif
+}
+
+AppendWriter::AppendWriter(std::string path) : path_(std::move(path)) {
+#if defined(_WIN32)
+    // Best-effort fallback: unbuffered append-mode stdio. Windows has no
+    // true O_APPEND single-write guarantee here; the linux path below is
+    // the one the journal's durability story is built on.
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (file_ != nullptr) std::setvbuf(file_, nullptr, _IONBF, 0);
+    const bool ok = file_ != nullptr;
+#else
+    // O_APPEND: every write(2) lands atomically at the current end of
+    // file, so records from concurrent appenders never interleave
+    // mid-line — provided each record goes out in ONE write, which
+    // append_line guarantees (no stdio buffering to split it).
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ >= 0) fsync_parent_dir(path_);  // persist the O_CREAT entry
+    const bool ok = fd_ >= 0;
+#endif
+    if (!ok) {
+        throw Error("io", "cannot open journal '" + path_ + "' for appending");
+    }
+}
+
+AppendWriter::~AppendWriter() { close(); }
+
+void AppendWriter::close() noexcept {
+#if defined(_WIN32)
+    if (file_ != nullptr) std::fclose(std::exchange(file_, nullptr));
+#else
+    if (fd_ >= 0) ::close(std::exchange(fd_, -1));
+#endif
+}
+
+AppendWriter::AppendWriter(AppendWriter&& other) noexcept : path_(std::move(other.path_)) {
+#if defined(_WIN32)
+    file_ = std::exchange(other.file_, nullptr);
+#else
+    fd_ = std::exchange(other.fd_, -1);
+#endif
+}
+
+AppendWriter& AppendWriter::operator=(AppendWriter&& other) noexcept {
+    if (this != &other) {
+        close();
+        path_ = std::move(other.path_);
+#if defined(_WIN32)
+        file_ = std::exchange(other.file_, nullptr);
+#else
+        fd_ = std::exchange(other.fd_, -1);
+#endif
+    }
+    return *this;
+}
+
+void AppendWriter::append_line(std::string_view line) {
+    check(line.find('\n') == std::string_view::npos,
+          "journal records must be single lines");
+    std::string record;
+    record.reserve(line.size() + 1);
+    record.append(line);
+    record.push_back('\n');
+#if defined(_WIN32)
+    check(file_ != nullptr, "append_line on a moved-from AppendWriter");
+    const bool ok = std::fwrite(record.data(), 1, record.size(), file_) ==
+                        record.size() &&
+                    std::fflush(file_) == 0;
+#else
+    check(fd_ >= 0, "append_line on a moved-from AppendWriter");
+    // One write(2) for the whole record; a short write (ENOSPC, a signal
+    // mid-write) would tear the journal line, so treat it as a failure —
+    // the reader's torn-tail recovery covers what got out. fdatasync
+    // makes the record survive machine death, not just a process kill;
+    // one sync per record is noise next to a cell's simulation time.
+    const ssize_t written = ::write(fd_, record.data(), record.size());
+    const bool ok =
+        written == static_cast<ssize_t>(record.size()) && ::fdatasync(fd_) == 0;
+#endif
+    if (!ok) {
+        throw Error("io", "failed appending to journal '" + path_ + "'");
+    }
+}
+
+}  // namespace sdl::support

@@ -1,0 +1,68 @@
+// Crash-safe file IO primitives for reports and journals.
+//
+// Two write disciplines cover every durable artifact sdlbench produces:
+//   * atomic_write — whole documents (campaign.json, workcell.yaml, CSVs)
+//     go to a temporary sibling first and are renamed into place, so a
+//     reader (or a resumed run) never sees a torn file;
+//   * AppendWriter — the campaign cell journal appends one record per
+//     line through an O_APPEND stream, flushed per record, so a killed
+//     process loses at most the final, partially written line.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace sdl::support {
+
+/// Writes `content` to `path` atomically: the bytes land in a temporary
+/// file in the same directory, which is fsynced and then renamed over
+/// `path` only after a complete write. A crash mid-write leaves the old
+/// file (or no file) intact — never a partial one. Throws Error("io")
+/// on failure.
+void atomic_write(const std::string& path, std::string_view content);
+
+/// Append-only line journal on an O_APPEND descriptor. append_line()
+/// issues exactly one unbuffered write(2) for the whole record + '\n'
+/// followed by fdatasync, so records from concurrent appender
+/// *processes* never interleave mid-line (O_APPEND writes to regular
+/// files are atomic), every returned append has reached stable storage
+/// (survives machine death, not just a process kill), and a kill leaves
+/// at most one truncated final line — which journal readers detect and
+/// drop. Not internally synchronized across *threads*:
+/// callers serialize appends (CampaignRunner's completion hook already
+/// does). On Windows a buffered-stdio fallback is used without the
+/// cross-process interleaving guarantee.
+class AppendWriter {
+public:
+    /// Opens `path` for appending, creating it if absent.
+    /// Throws Error("io") when the file cannot be opened.
+    explicit AppendWriter(std::string path);
+    ~AppendWriter();
+
+    AppendWriter(const AppendWriter&) = delete;
+    AppendWriter& operator=(const AppendWriter&) = delete;
+    AppendWriter(AppendWriter&& other) noexcept;
+    AppendWriter& operator=(AppendWriter&& other) noexcept;
+
+    /// Appends `line` + '\n' in a single unbuffered write. `line` must
+    /// not itself contain '\n' (one record per line is the journal
+    /// invariant). Throws Error("io") on failure — including a short
+    /// write, which tears the final journal line (the reader's torn-tail
+    /// recovery then drops it).
+    void append_line(std::string_view line);
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+    void close() noexcept;
+
+    std::string path_;
+#if defined(_WIN32)
+    std::FILE* file_ = nullptr;
+#else
+    int fd_ = -1;
+#endif
+};
+
+}  // namespace sdl::support

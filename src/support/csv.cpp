@@ -1,11 +1,18 @@
 #include "support/csv.hpp"
 
-#include <cstdio>
-#include <fstream>
+#include <charconv>
 
+#include "support/atomic_io.hpp"
 #include "support/common.hpp"
 
 namespace sdl::support {
+
+std::string fmt_roundtrip(double x) {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), x);
+    check(ec == std::errc{}, "fmt_roundtrip: to_chars failed");
+    return std::string(buf, ptr);
+}
 
 CsvWriter::CsvWriter(std::vector<std::string> header) : width_(header.size()) {
     check(!header.empty(), "CSV header must be non-empty");
@@ -29,20 +36,14 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
 void CsvWriter::add_row(const std::vector<double>& cells) {
     std::vector<std::string> text;
     text.reserve(cells.size());
-    for (const double c : cells) {
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.6g", c);
-        text.emplace_back(buf);
-    }
+    // Shortest-round-trip instead of a fixed "%.6g": scores and seeds
+    // must survive a CSV -> double -> CSV cycle and stay comparable to
+    // the JSON reports, which serialize doubles identically.
+    for (const double c : cells) text.push_back(fmt_roundtrip(c));
     add_row(text);
 }
 
-void CsvWriter::save(const std::string& path) const {
-    std::ofstream file(path, std::ios::binary);
-    if (!file) throw Error("io", "cannot open '" + path + "' for writing");
-    file << out_;
-    if (!file) throw Error("io", "failed writing '" + path + "'");
-}
+void CsvWriter::save(const std::string& path) const { atomic_write(path, out_); }
 
 std::string CsvWriter::quote(const std::string& cell) {
     if (cell.find_first_of(",\"\n") == std::string::npos) return cell;

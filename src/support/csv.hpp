@@ -6,6 +6,14 @@
 
 namespace sdl::support {
 
+/// Shortest decimal string that parses back to exactly `x` (the
+/// std::to_chars shortest-round-trip form, i.e. "%.17g" trimmed to the
+/// fewest digits that still round-trip). Numeric CSV cells use this so a
+/// CSV report can be diffed bit-for-bit against the JSON documents, which
+/// serialize doubles the same way. Non-finite values render as "nan" /
+/// "inf" / "-inf".
+[[nodiscard]] std::string fmt_roundtrip(double x);
+
 class CsvWriter {
 public:
     /// Sets the header row; must be called before any data rows.
@@ -22,7 +30,8 @@ public:
     /// Full document text.
     [[nodiscard]] const std::string& str() const noexcept { return out_; }
 
-    /// Writes the document to `path`; throws Error("io") on failure.
+    /// Writes the document to `path` atomically (temp file + rename, see
+    /// support::atomic_write); throws Error("io") on failure.
     void save(const std::string& path) const;
 
     /// Quotes a cell if it contains separators/quotes/newlines.

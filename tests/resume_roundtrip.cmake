@@ -1,0 +1,70 @@
+# ctest -P helper: run -> kill -> resume round trip for campaign
+# checkpointing.
+#
+# Runs CAMPAIGN to a reference directory, simulates a crash by truncating
+# a copy of the journal mid-record (keeping the header and the first
+# complete cell), resumes from the truncated journal with
+# `sdlbench_run --campaign ... --resume`, and requires the resumed
+# campaign.json to be byte-identical to the uninterrupted reference.
+#
+# Vars: RUNNER (sdlbench_run path), CAMPAIGN (campaign yaml), WORK_DIR.
+foreach(var RUNNER CAMPAIGN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "resume_roundtrip.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# 1. Uninterrupted reference run.
+execute_process(
+  COMMAND "${RUNNER}" --campaign "${CAMPAIGN}" "${WORK_DIR}/ref"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference run failed (${rc})\n${out}\n${err}")
+endif()
+
+# 2. Simulate the kill: keep the journal header, the first complete cell
+# record, and 40 bytes of the second record (a torn final line).
+file(READ "${WORK_DIR}/ref/cells.jsonl" journal)
+string(FIND "${journal}" "\n" header_end)
+math(EXPR record_start "${header_end} + 1")
+string(SUBSTRING "${journal}" ${record_start} -1 rest)
+string(FIND "${rest}" "\n" first_record_end)
+math(EXPR keep "${record_start} + ${first_record_end} + 1 + 40")
+string(SUBSTRING "${journal}" 0 ${keep} truncated)
+file(MAKE_DIRECTORY "${WORK_DIR}/resume")
+file(WRITE "${WORK_DIR}/resume/cells.jsonl" "${truncated}")
+
+# 3. Resume from the damaged journal.
+execute_process(
+  COMMAND "${RUNNER}" --campaign "${CAMPAIGN}" --resume "${WORK_DIR}/resume"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resume run failed (${rc})\n${out}\n${err}")
+endif()
+string(FIND "${out}" "Resuming:" resumed)
+if(resumed EQUAL -1)
+  message(FATAL_ERROR "resume run did not report resuming\n${out}")
+endif()
+
+# 4. The resumed report must match the uninterrupted one byte for byte.
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${WORK_DIR}/ref/campaign.json" "${WORK_DIR}/resume/campaign.json"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "resumed campaign.json differs from the uninterrupted reference")
+endif()
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${WORK_DIR}/ref/campaign.csv" "${WORK_DIR}/resume/campaign.csv"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "resumed campaign.csv differs from the uninterrupted reference")
+endif()
+
+message(STATUS "resume round trip OK: truncated journal recovered byte-identically")

@@ -1,0 +1,74 @@
+# ctest -P helper: shard -> merge round trip for campaign sharding.
+#
+# Runs CAMPAIGN once uninterrupted, then again as SHARDS round-robin
+# shards (`--shard i/N`), fuses the shard journals with sdlbench_merge,
+# and requires the merged campaign.json/csv to be byte-identical to the
+# single-run reference. Also checks that merging with a shard missing
+# fails loudly.
+#
+# Vars: RUNNER (sdlbench_run), MERGER (sdlbench_merge), CAMPAIGN,
+# WORK_DIR, SHARDS (count, default 3).
+foreach(var RUNNER MERGER CAMPAIGN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "shard_merge_roundtrip.cmake: ${var} not set")
+  endif()
+endforeach()
+if(NOT DEFINED SHARDS)
+  set(SHARDS 3)
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${RUNNER}" --campaign "${CAMPAIGN}" "${WORK_DIR}/ref"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference run failed (${rc})\n${out}\n${err}")
+endif()
+
+set(shard_dirs)
+foreach(i RANGE 1 ${SHARDS})
+  execute_process(
+    COMMAND "${RUNNER}" --campaign "${CAMPAIGN}" --shard "${i}/${SHARDS}"
+            "${WORK_DIR}/shard${i}"
+    OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "shard ${i}/${SHARDS} failed (${rc})\n${out}\n${err}")
+  endif()
+  list(APPEND shard_dirs "${WORK_DIR}/shard${i}")
+endforeach()
+
+# Merging with one shard missing must fail loudly.
+list(POP_BACK shard_dirs last_shard)
+execute_process(
+  COMMAND "${MERGER}" "${CAMPAIGN}" "${WORK_DIR}/merged" ${shard_dirs}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "merge with a missing shard unexpectedly succeeded\n${out}")
+endif()
+string(FIND "${err}" "incomplete merge" incomplete)
+if(incomplete EQUAL -1)
+  message(FATAL_ERROR "missing-shard merge did not explain itself\n${err}")
+endif()
+
+# The full merge must reproduce the single run byte for byte.
+list(APPEND shard_dirs "${last_shard}")
+execute_process(
+  COMMAND "${MERGER}" "${CAMPAIGN}" "${WORK_DIR}/merged" ${shard_dirs}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "merge failed (${rc})\n${out}\n${err}")
+endif()
+foreach(doc campaign.json campaign.csv)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK_DIR}/ref/${doc}" "${WORK_DIR}/merged/${doc}"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "merged ${doc} differs from the single-run reference")
+  endif()
+endforeach()
+
+message(STATUS
+  "shard merge OK: ${SHARDS} shards fused byte-identically to the single run")

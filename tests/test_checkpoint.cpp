@@ -1,0 +1,368 @@
+// Tests for campaign checkpointing: journal write/load round trips,
+// kill-style truncated-journal recovery, loud digest-mismatch rejection,
+// shard selection, and shard-merge / resume flows producing reports
+// byte-identical to a single uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/checkpoint.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "support/common.hpp"
+#include "support/log.hpp"
+
+using namespace sdl;
+using namespace sdl::campaign;
+
+namespace {
+
+CampaignSpec tiny_spec() {
+    CampaignSpec spec;
+    spec.name = "ckpt";
+    spec.base.total_samples = 6;
+    spec.base.batch_size = 3;
+    spec.axes.solvers = {"genetic", "random"};
+    spec.axes.batch_sizes = {2, 3};
+    spec.base_seed = 5;
+    return spec;
+}
+
+/// The tiny grid, executed once and shared by every test (the journal
+/// and merge tests only re-serialize, never re-run).
+const std::vector<CellResult>& shared_results() {
+    static const std::vector<CellResult> results = [] {
+        support::set_log_level(support::LogLevel::Error);
+        CampaignRunnerOptions options;
+        options.log_progress = false;
+        return CampaignRunner(options).run(tiny_spec());
+    }();
+    return results;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+/// Creates a journal for `spec` in `dir` containing `results`.
+void write_journal(const std::string& dir, const CampaignSpec& spec,
+                   std::size_t cells_total, const std::vector<CellResult>& results,
+                   Shard shard = {}) {
+    std::filesystem::create_directories(dir);
+    CheckpointJournal journal(dir, spec, cells_total, shard);
+    for (const CellResult& result : results) journal.append(result);
+}
+
+struct TempDir {
+    explicit TempDir(std::string p) : path(std::move(p)) {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+    std::string path;
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------- shard
+
+TEST(Shard, ParsesOneBasedSlices) {
+    const Shard s = Shard::parse("2/3");
+    EXPECT_EQ(s.index, 1u);
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(s.str(), "2/3");
+    EXPECT_FALSE(s.is_whole());
+    EXPECT_TRUE(Shard::parse("1/1").is_whole());
+    // Round-robin membership.
+    EXPECT_TRUE(s.contains(1));
+    EXPECT_TRUE(s.contains(4));
+    EXPECT_FALSE(s.contains(0));
+    EXPECT_FALSE(s.contains(2));
+}
+
+TEST(Shard, RejectsMalformedAndOutOfRange) {
+    for (const char* bad : {"", "3", "/3", "3/", "0/3", "4/3", "a/3", "1/b", "1/0",
+                            "1/3x", "-1/3"}) {
+        EXPECT_THROW((void)Shard::parse(bad), support::ConfigError) << bad;
+    }
+}
+
+// --------------------------------------------------------------- digests
+
+TEST(Checkpoint, SpecDigestTracksSpecIdentity) {
+    const CampaignSpec spec = tiny_spec();
+    EXPECT_EQ(spec_digest(spec), spec_digest(tiny_spec()));
+    CampaignSpec other = tiny_spec();
+    other.base_seed += 1;
+    EXPECT_NE(spec_digest(spec), spec_digest(other));
+    const auto grid = expand_grid(spec);
+    EXPECT_NE(cell_digest(grid[0]), cell_digest(grid[1]));
+}
+
+// ------------------------------------------------------------- round trip
+
+TEST(Checkpoint, JournalRoundTripReproducesResultsExactly) {
+    const CampaignSpec spec = tiny_spec();
+    const auto& results = shared_results();
+    TempDir dir("test_ckpt_roundtrip");
+    write_journal(dir.path, spec, results.size(), results);
+
+    const LoadedJournal loaded =
+        load_journal(journal_path(dir.path), spec, expand_grid(spec));
+    EXPECT_FALSE(loaded.dropped_torn_tail);
+    EXPECT_EQ(loaded.shard, Shard{});
+    ASSERT_EQ(loaded.cells.size(), results.size());
+    // The reconstructed results serialize byte-identically — the property
+    // resume and merge rely on.
+    EXPECT_EQ(campaign_results_to_json(spec, loaded.cells).pretty(),
+              campaign_results_to_json(spec, results).pretty());
+    EXPECT_EQ(campaign_results_to_csv(loaded.cells), campaign_results_to_csv(results));
+    // Wall time rides along (for shard balancing), outside the report.
+    EXPECT_EQ(loaded.cells[0].wall_seconds, results[0].wall_seconds);
+}
+
+TEST(Checkpoint, TruncatedJournalDropsOnlyTheTornTail) {
+    const CampaignSpec spec = tiny_spec();
+    const auto& results = shared_results();
+    TempDir dir("test_ckpt_truncated");
+    write_journal(dir.path, spec, results.size(), results);
+
+    // Kill-style damage: chop the file mid final record.
+    std::string text = slurp(journal_path(dir.path));
+    ASSERT_GT(text.size(), 40u);
+    text.resize(text.size() - 40);
+    {
+        std::ofstream file(journal_path(dir.path), std::ios::binary | std::ios::trunc);
+        file << text;
+    }
+
+    const LoadedJournal loaded =
+        load_journal(journal_path(dir.path), spec, expand_grid(spec));
+    EXPECT_TRUE(loaded.dropped_torn_tail);
+    ASSERT_EQ(loaded.cells.size(), results.size() - 1);
+    // Compaction material: header + the surviving records.
+    EXPECT_EQ(loaded.lines.size(), results.size());
+    for (std::size_t i = 0; i < loaded.cells.size(); ++i) {
+        EXPECT_EQ(loaded.cells[i].cell.index, results[i].cell.index);
+    }
+}
+
+TEST(Checkpoint, EmptyOrHeaderlessJournalIsRejected) {
+    const CampaignSpec spec = tiny_spec();
+    TempDir dir("test_ckpt_empty");
+    {
+        std::ofstream file(journal_path(dir.path), std::ios::binary);
+    }
+    EXPECT_THROW((void)load_journal(journal_path(dir.path), spec, expand_grid(spec)),
+                 support::ConfigError);
+    {
+        // A torn header (kill before the first newline).
+        std::ofstream file(journal_path(dir.path), std::ios::binary | std::ios::trunc);
+        file << "{\"schema\":\"sdlbench.campaign_jou";
+    }
+    EXPECT_THROW((void)load_journal(journal_path(dir.path), spec, expand_grid(spec)),
+                 support::ConfigError);
+}
+
+TEST(Checkpoint, SpecDigestMismatchIsRejectedLoudly) {
+    const CampaignSpec spec = tiny_spec();
+    const auto& results = shared_results();
+    TempDir dir("test_ckpt_digest");
+    write_journal(dir.path, spec, results.size(), results);
+
+    CampaignSpec other = tiny_spec();
+    other.base_seed += 100;
+    try {
+        (void)load_journal(journal_path(dir.path), other, expand_grid(other));
+        FAIL() << "digest mismatch must throw";
+    } catch (const support::ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find("digest mismatch"), std::string::npos);
+    }
+}
+
+TEST(Checkpoint, CorruptMiddleRecordAndDuplicatesAreRejected) {
+    const CampaignSpec spec = tiny_spec();
+    const auto& results = shared_results();
+    TempDir dir("test_ckpt_corrupt");
+    write_journal(dir.path, spec, results.size(), results);
+    std::string text = slurp(journal_path(dir.path));
+
+    // Corrupt a middle record (still newline-terminated): loud failure,
+    // not silent recovery — only the torn tail may be dropped.
+    std::vector<std::string> lines;
+    std::stringstream stream(text);
+    for (std::string line; std::getline(stream, line);) lines.push_back(line);
+    ASSERT_GE(lines.size(), 3u);
+    std::string corrupted;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        corrupted += (i == 1) ? "{\"schema\":\"sdlbench.cell_result.v1\",garbage" : lines[i];
+        corrupted += '\n';
+    }
+    {
+        std::ofstream file(journal_path(dir.path), std::ios::binary | std::ios::trunc);
+        file << corrupted;
+    }
+    EXPECT_THROW((void)load_journal(journal_path(dir.path), spec, expand_grid(spec)),
+                 support::ConfigError);
+
+    // A cell recorded twice is corruption, not progress.
+    std::string duplicated = text + lines[1] + "\n";
+    {
+        std::ofstream file(journal_path(dir.path), std::ios::binary | std::ios::trunc);
+        file << duplicated;
+    }
+    EXPECT_THROW((void)load_journal(journal_path(dir.path), spec, expand_grid(spec)),
+                 support::ConfigError);
+}
+
+TEST(Checkpoint, OutOfShardRecordsAreRejected) {
+    const CampaignSpec spec = tiny_spec();
+    const auto& results = shared_results();
+    TempDir dir("test_ckpt_shard_member");
+    // Header claims shard 1/2 (indices 0, 2, ...) but records hold every
+    // cell.
+    write_journal(dir.path, spec, results.size(), results, Shard{0, 2});
+    EXPECT_THROW((void)load_journal(journal_path(dir.path), spec, expand_grid(spec)),
+                 support::ConfigError);
+}
+
+TEST(Checkpoint, JournalProgressProtectsOnlyIncompleteRunsOfTheSameSpec) {
+    const CampaignSpec spec = tiny_spec();
+    const auto& results = shared_results();
+    TempDir dir("test_ckpt_progress");
+    const std::string path = journal_path(dir.path);
+
+    EXPECT_EQ(journal_progress("no/such/journal.jsonl", spec), 0u);
+
+    // Incomplete run of this spec: progress worth protecting.
+    const std::vector<CellResult> partial(results.begin(), results.begin() + 2);
+    write_journal(dir.path, spec, results.size(), partial);
+    EXPECT_EQ(journal_progress(path, spec), 2u);
+
+    // Same journal against a different spec: not this campaign's progress.
+    CampaignSpec other = tiny_spec();
+    other.base_seed += 1;
+    EXPECT_EQ(journal_progress(path, other), 0u);
+
+    // A complete journal is a finished run — safe to redo, nothing lost.
+    write_journal(dir.path, spec, results.size(), results);
+    EXPECT_EQ(journal_progress(path, spec), 0u);
+
+    // A kill mid-final-record must NOT masquerade as complete: the torn
+    // fragment is not a record, so the remaining progress is protected.
+    {
+        std::string text = slurp(path);
+        text.resize(text.size() - 30);
+        std::ofstream file(path, std::ios::binary | std::ios::trunc);
+        file << text;
+    }
+    EXPECT_EQ(journal_progress(path, spec), results.size() - 1);
+
+    // A complete *shard* journal likewise (its slice is done).
+    const Shard shard{0, 2};
+    std::vector<CellResult> slice;
+    for (const CellResult& result : results) {
+        if (shard.contains(result.cell.index)) slice.push_back(result);
+    }
+    write_journal(dir.path, spec, results.size(), slice, shard);
+    EXPECT_EQ(journal_progress(path, spec), 0u);
+    // ... but an incomplete shard journal is protected.
+    slice.pop_back();
+    write_journal(dir.path, spec, results.size(), slice, shard);
+    EXPECT_EQ(journal_progress(path, spec), slice.size());
+}
+
+// ---------------------------------------------------------- resume, merge
+
+TEST(Checkpoint, ResumeFromPartialJournalIsByteIdentical) {
+    const CampaignSpec spec = tiny_spec();
+    const auto& results = shared_results();
+    TempDir dir("test_ckpt_resume");
+    // Only the first k cells made it to the journal before the "crash".
+    const std::vector<CellResult> partial(results.begin(), results.begin() + 2);
+    write_journal(dir.path, spec, results.size(), partial);
+
+    const std::vector<CampaignCell> grid = expand_grid(spec);
+    LoadedJournal loaded = load_journal(journal_path(dir.path), spec, grid);
+    ASSERT_EQ(loaded.cells.size(), 2u);
+
+    // Re-run exactly the missing cells, as `--resume` does.
+    std::vector<bool> have(grid.size(), false);
+    for (const CellResult& result : loaded.cells) have[result.cell.index] = true;
+    std::vector<CampaignCell> todo;
+    for (const CampaignCell& cell : grid) {
+        if (!have[cell.index]) todo.push_back(cell);
+    }
+    CampaignRunnerOptions options;
+    options.log_progress = false;
+    std::vector<CellResult> merged = CampaignRunner(options).run_cells(std::move(todo));
+    for (CellResult& result : loaded.cells) merged.push_back(std::move(result));
+    std::sort(merged.begin(), merged.end(), [](const CellResult& a, const CellResult& b) {
+        return a.cell.index < b.cell.index;
+    });
+
+    EXPECT_EQ(campaign_results_to_json(spec, merged).pretty(),
+              campaign_results_to_json(spec, results).pretty());
+}
+
+TEST(Checkpoint, ThreeShardMergeIsByteIdenticalToSingleRun) {
+    const CampaignSpec spec = tiny_spec();
+    const auto& results = shared_results();
+    ASSERT_GE(results.size(), 3u);
+
+    const TempDir d1("test_ckpt_merge_shard1");
+    const TempDir d2("test_ckpt_merge_shard2");
+    const TempDir d3("test_ckpt_merge_shard3");
+    const std::string dir_paths[] = {d1.path, d2.path, d3.path};
+    std::vector<std::string> journals;
+    for (std::size_t s = 0; s < 3; ++s) {
+        const Shard shard{s, 3};
+        std::vector<CellResult> slice;
+        for (const CellResult& result : results) {
+            if (shard.contains(result.cell.index)) slice.push_back(result);
+        }
+        write_journal(dir_paths[s], spec, results.size(), slice, shard);
+        journals.push_back(journal_path(dir_paths[s]));
+    }
+
+    const std::vector<CellResult> merged = merge_journals(journals, spec);
+    ASSERT_EQ(merged.size(), results.size());
+    EXPECT_EQ(campaign_results_to_json(spec, merged).pretty(),
+              campaign_results_to_json(spec, results).pretty());
+    EXPECT_EQ(campaign_results_to_csv(merged), campaign_results_to_csv(results));
+}
+
+TEST(Checkpoint, MergeRejectsOverlapAndIncompleteCoverage) {
+    const CampaignSpec spec = tiny_spec();
+    const auto& results = shared_results();
+    TempDir a("test_ckpt_merge_a");
+    TempDir b("test_ckpt_merge_b");
+    const Shard first{0, 2};
+    const Shard second{1, 2};
+    std::vector<CellResult> slice_a;
+    std::vector<CellResult> slice_b;
+    for (const CellResult& result : results) {
+        (first.contains(result.cell.index) ? slice_a : slice_b).push_back(result);
+    }
+    write_journal(a.path, spec, results.size(), slice_a, first);
+    write_journal(b.path, spec, results.size(), slice_b, second);
+
+    // Overlap: the same shard twice.
+    EXPECT_THROW((void)merge_journals({journal_path(a.path), journal_path(a.path)}, spec),
+                 support::ConfigError);
+    // Incomplete: one shard missing.
+    EXPECT_THROW((void)merge_journals({journal_path(a.path)}, spec),
+                 support::ConfigError);
+    // Both present: complete.
+    const auto merged = merge_journals({journal_path(a.path), journal_path(b.path)}, spec);
+    EXPECT_EQ(merged.size(), results.size());
+}

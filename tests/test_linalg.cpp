@@ -129,6 +129,61 @@ TEST(Cholesky, RejectsIndefiniteMatrix) {
     EXPECT_THROW(Cholesky{a}, sdl::support::Error);
 }
 
+TEST(Cholesky, ExtendMatchesFullRefactorizationBitwise) {
+    // The rank-1 extension runs the same recurrence in the same order as
+    // factoring the (n+1)×(n+1) matrix from scratch, so the factors must
+    // agree exactly — this is what lets the GP's incremental observe()
+    // reproduce the batch refit bit for bit.
+    Rng rng(41);
+    const Matrix big = random_spd(9, rng);
+    Matrix base(8, 8);
+    for (std::size_t i = 0; i < 8; ++i)
+        for (std::size_t j = 0; j < 8; ++j) base(i, j) = big(i, j);
+    Vec b(8);
+    for (std::size_t i = 0; i < 8; ++i) b[i] = big(8, i);
+
+    Cholesky incremental(base);
+    incremental.extend(b, big(8, 8));
+    const Cholesky full(big);
+    ASSERT_EQ(incremental.size(), 9u);
+    for (std::size_t i = 0; i < 9; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            EXPECT_EQ(incremental.lower()(i, j), full.lower()(i, j))
+                << "L(" << i << "," << j << ")";
+        }
+    }
+}
+
+TEST(Cholesky, ExtendedFactorSolvesTheExtendedSystem) {
+    Rng rng(43);
+    const Matrix big = random_spd(7, rng);
+    Matrix base(6, 6);
+    for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 6; ++j) base(i, j) = big(i, j);
+    Vec b(6);
+    for (std::size_t i = 0; i < 6; ++i) b[i] = big(6, i);
+    Cholesky chol(base);
+    chol.extend(b, big(6, 6));
+
+    Vec rhs(7);
+    for (double& x : rhs) x = rng.uniform(-3, 3);
+    const Vec x = chol.solve(rhs);
+    const Vec ax = big * x;
+    for (std::size_t i = 0; i < 7; ++i) EXPECT_NEAR(ax[i], rhs[i], 1e-8);
+}
+
+TEST(Cholesky, ExtendRejectsIndefiniteGrowthAndKeepsFactor) {
+    Matrix a(2, 2);
+    a(0, 0) = 4;
+    a(1, 1) = 9;
+    Cholesky chol(a);
+    // b chosen so the Schur complement c - bᵀA⁻¹b is negative.
+    EXPECT_THROW(chol.extend(Vec{4.0, 0.0}, 1.0), sdl::support::Error);
+    EXPECT_EQ(chol.size(), 2u);  // untouched
+    EXPECT_NO_THROW(chol.extend(Vec{1.0, 1.0}, 9.0));
+    EXPECT_EQ(chol.size(), 3u);
+}
+
 TEST(Cholesky, JitterRescuesSemidefiniteMatrix) {
     // Rank-1 PSD matrix (singular): plain Cholesky fails, jittered works.
     Matrix a(3, 3);

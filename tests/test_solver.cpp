@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numbers>
 
 #include "color/mixing.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
 #include "solver/anneal.hpp"
 #include "solver/baselines.hpp"
 #include "solver/bayes.hpp"
@@ -244,6 +247,141 @@ TEST(GaussianProcess, LmlPrefersSensibleLengthscale) {
     const double lml_mid = gp.log_marginal_likelihood({0.5, 1e-2, 1.0});
     const double lml_tiny = gp.log_marginal_likelihood({0.01, 1e-2, 1.0});
     EXPECT_GT(lml_mid, lml_tiny);
+}
+
+namespace {
+
+double rbf(const std::vector<double>& a, const std::vector<double>& b,
+           const GaussianProcess::Hyperparams& p) {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) d2 += (a[i] - b[i]) * (a[i] - b[i]);
+    return p.signal_var * std::exp(-0.5 * d2 / (p.lengthscale * p.lengthscale));
+}
+
+}  // namespace
+
+TEST(GaussianProcess, ObserveMatchesBatchRefitAtFrozenStandardization) {
+    // The incremental rank-1 update must reproduce the posterior of a
+    // from-scratch fit on the full data at the same hyperparameters and
+    // the same (frozen) target standardization. The reference posterior
+    // is computed by hand with linalg.
+    Rng rng(99);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 12; ++i) {
+        std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()};
+        ys.push_back(std::sin(3.0 * x[0]) + x[1]);
+        xs.push_back(std::move(x));
+    }
+    constexpr std::size_t kBase = 8;
+
+    GaussianProcess gp;
+    gp.fit({xs.begin(), xs.begin() + kBase}, {ys.begin(), ys.begin() + kBase},
+           /*optimize=*/false);
+    const GaussianProcess::Hyperparams p = gp.hyperparams();
+    for (std::size_t i = kBase; i < xs.size(); ++i) gp.observe(xs[i], ys[i]);
+    ASSERT_EQ(gp.size(), xs.size());
+
+    // Standardization frozen at the first kBase targets, as documented.
+    double mean = 0.0;
+    for (std::size_t i = 0; i < kBase; ++i) mean += ys[i];
+    mean /= static_cast<double>(kBase);
+    double var = 0.0;
+    for (std::size_t i = 0; i < kBase; ++i) var += (ys[i] - mean) * (ys[i] - mean);
+    var /= static_cast<double>(kBase);
+    const double scale = std::sqrt(var);
+
+    const std::size_t n = xs.size();
+    sdl::linalg::Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) k(i, j) = rbf(xs[i], xs[j], p);
+        k(i, i) += p.noise_var;
+    }
+    sdl::linalg::Vec ys_std(n);
+    for (std::size_t i = 0; i < n; ++i) ys_std[i] = (ys[i] - mean) / scale;
+    const sdl::linalg::Cholesky chol(k);
+    const sdl::linalg::Vec alpha = chol.solve(ys_std);
+
+    const std::vector<double> query{0.3, 0.7, 0.2, 0.6};
+    sdl::linalg::Vec kx(n);
+    for (std::size_t i = 0; i < n; ++i) kx[i] = rbf(xs[i], query, p);
+    const double mean_std = sdl::linalg::dot(kx, alpha);
+    const sdl::linalg::Vec v = chol.solve_lower(kx);
+    const double var_std = p.signal_var + p.noise_var - sdl::linalg::dot(v, v);
+
+    const auto pred = gp.predict(query);
+    EXPECT_NEAR(pred.mean, mean_std * scale + mean, 1e-9);
+    EXPECT_NEAR(pred.variance, var_std * scale * scale, 1e-9);
+}
+
+TEST(GaussianProcess, ObserveRequiresFitAndMatchingDims) {
+    GaussianProcess gp;
+    EXPECT_THROW(gp.observe({0.1, 0.2, 0.3, 0.4}, 1.0), sdl::support::LogicError);
+    gp.fit({{0.1, 0.2, 0.3, 0.4}}, {1.0}, /*optimize=*/false);
+    EXPECT_THROW(gp.observe({0.1, 0.2}, 1.0), sdl::support::LogicError);
+    EXPECT_NO_THROW(gp.observe({0.5, 0.5, 0.5, 0.5}, 2.0));
+    EXPECT_EQ(gp.size(), 2u);
+}
+
+TEST(GaussianProcess, ObserveSurvivesDuplicatePoints) {
+    // An exact duplicate stresses the rank-1 extension (near-singular
+    // Schur complement with small noise); the GP must stay usable via
+    // the jittered-refit fallback if the extension fails.
+    GaussianProcess gp;
+    gp.fit({{0.2, 0.2, 0.2, 0.2}, {0.8, 0.8, 0.8, 0.8}}, {1.0, -1.0},
+           /*optimize=*/false);
+    for (int i = 0; i < 4; ++i) gp.observe({0.2, 0.2, 0.2, 0.2}, 1.0);
+    EXPECT_EQ(gp.size(), 6u);
+    const auto pred = gp.predict(std::vector<double>{0.2, 0.2, 0.2, 0.2});
+    EXPECT_TRUE(std::isfinite(pred.mean));
+    EXPECT_TRUE(std::isfinite(pred.variance));
+}
+
+TEST(GaussianProcess, LmlFastPathMatchesManualComputation) {
+    Rng rng(7);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 10; ++i) {
+        std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()};
+        ys.push_back(x[0] * x[0] - x[2]);
+        xs.push_back(std::move(x));
+    }
+    GaussianProcess gp;
+    gp.fit(xs, ys, /*optimize=*/true);
+    const GaussianProcess::Hyperparams p = gp.hyperparams();
+
+    // Reference LML computed by hand at the fitted hyperparameters.
+    double mean = 0.0;
+    for (const double y : ys) mean += y;
+    mean /= static_cast<double>(ys.size());
+    double var = 0.0;
+    for (const double y : ys) var += (y - mean) * (y - mean);
+    var /= static_cast<double>(ys.size());
+    const double scale = std::sqrt(var);
+    const std::size_t n = xs.size();
+    sdl::linalg::Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) k(i, j) = rbf(xs[i], xs[j], p);
+        k(i, i) += p.noise_var;
+    }
+    sdl::linalg::Vec ys_std(n);
+    for (std::size_t i = 0; i < n; ++i) ys_std[i] = (ys[i] - mean) / scale;
+    const sdl::linalg::Cholesky chol(k);
+    const double fit_term = sdl::linalg::dot(ys_std, chol.solve(ys_std));
+    const double expected = -0.5 * fit_term - 0.5 * chol.log_det() -
+                            0.5 * static_cast<double>(n) *
+                                std::log(2.0 * std::numbers::pi);
+
+    // The fast path (reusing the fitted factor) must agree with the
+    // from-scratch computation, and the fitted params must have won the
+    // grid search.
+    EXPECT_NEAR(gp.log_marginal_likelihood(p), expected, 1e-9);
+    for (const double lengthscale : {0.15, 0.3, 0.6, 1.2}) {
+        for (const double noise : {1e-3, 1e-2, 1e-1}) {
+            EXPECT_GE(gp.log_marginal_likelihood(p) + 1e-12,
+                      gp.log_marginal_likelihood({lengthscale, noise, 1.0}));
+        }
+    }
 }
 
 TEST(GaussianProcess, FitValidatesShapes) {

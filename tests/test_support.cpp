@@ -5,10 +5,14 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "support/atomic_io.hpp"
 #include "support/channel.hpp"
 #include "support/common.hpp"
 #include "support/csv.hpp"
@@ -386,6 +390,75 @@ TEST(Csv, NumericRows) {
     CsvWriter csv({"x", "y"});
     csv.add_row(std::vector<double>{1.5, 2.0});
     EXPECT_NE(csv.str().find("1.5,2\n"), std::string::npos);
+}
+
+TEST(Csv, NumericRowsRoundTrip) {
+    // Shortest-round-trip cells: parsing the text back gives the exact
+    // double, and integral values stay compact.
+    const double third = 1.0 / 3.0;
+    const std::string text = fmt_roundtrip(third);
+    EXPECT_EQ(std::stod(text), third);
+    EXPECT_EQ(fmt_roundtrip(2.0), "2");
+    EXPECT_EQ(fmt_roundtrip(1.5), "1.5");
+    EXPECT_EQ(fmt_roundtrip(-0.125), "-0.125");
+    // A value "%.6g" used to truncate survives the new format.
+    const double precise = 123.456789012345;
+    EXPECT_EQ(std::stod(fmt_roundtrip(precise)), precise);
+}
+
+// -------------------------------------------------------------- atomic io
+
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+}  // namespace
+
+TEST(AtomicIo, WritesAndOverwritesWholeFiles) {
+    const std::string dir = "test_support_atomic_io";
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/doc.txt";
+    atomic_write(path, "first\n");
+    EXPECT_EQ(slurp(path), "first\n");
+    atomic_write(path, "second version\n");
+    EXPECT_EQ(slurp(path), "second version\n");
+    // No temp files left behind.
+    std::size_t entries = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        (void)entry;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicIo, AtomicWriteToUnwritablePathThrows) {
+    EXPECT_THROW(atomic_write("no_such_dir_xyz/doc.txt", "x"), Error);
+}
+
+TEST(AtomicIo, AppendWriterAppendsOneLinePerRecord) {
+    const std::string dir = "test_support_append";
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/journal.jsonl";
+    {
+        AppendWriter writer(path);
+        writer.append_line("{\"a\":1}");
+        writer.append_line("{\"b\":2}");
+    }
+    {
+        // Reopening appends after existing content (O_APPEND semantics).
+        AppendWriter writer(path);
+        writer.append_line("{\"c\":3}");
+    }
+    EXPECT_EQ(slurp(path), "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n");
+    AppendWriter writer(path);
+    EXPECT_THROW(writer.append_line("two\nlines"), LogicError);
+    std::filesystem::remove_all(dir);
 }
 
 TEST(Csv, RowWidthMismatchThrows) {

@@ -3,6 +3,8 @@
 //   sdlbench_run <experiment.yaml> [output_dir]
 //   sdlbench_run --preset <name> [output_dir]
 //   sdlbench_run --campaign <campaign.yaml> [output_dir]
+//   sdlbench_run --campaign <campaign.yaml> --resume <dir>
+//   sdlbench_run --campaign <campaign.yaml> --shard i/N [output_dir]
 //   sdlbench_run --scenario <name|spec.yaml> [output_dir]
 //   sdlbench_run --list-scenarios
 //
@@ -19,20 +21,28 @@
 // Campaign mode expands the file's solver x batch-size x objective x
 // target x replicate grid, runs every cell in parallel on the thread
 // pool, prints the per-group aggregate table, and writes campaign.json +
-// campaign.csv to the output directory.
+// campaign.csv to the output directory. Every finished cell is also
+// checkpointed to <out_dir>/cells.jsonl (campaign/checkpoint.hpp), so a
+// killed run resumes with --resume <dir> (completed cells are validated
+// against the re-expanded grid and skipped) and a grid can be split
+// round-robin across machines with --shard i/N; sdlbench_merge fuses the
+// shard journals into one report. All reports are written atomically
+// (temp file + rename), and resume/merge reproduce the exact bytes an
+// uninterrupted run would have written.
 //
 // Either mode accepts --json <path> to additionally write the structured
 // result document (single runs and campaign cells share one schema,
-// "sdlbench.experiment_result.v1").
+// "sdlbench.experiment_result.v2").
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "campaign/campaign_io.hpp"
+#include "campaign/checkpoint.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "core/colorpicker.hpp"
@@ -42,6 +52,7 @@
 #include "core/workcell_spec.hpp"
 #include "data/artifacts.hpp"
 #include "metrics/metrics.hpp"
+#include "support/atomic_io.hpp"
 #include "support/csv.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
@@ -62,6 +73,8 @@ void print_usage(std::FILE* stream) {
                  "usage: sdlbench_run <experiment.yaml> [output_dir]\n"
                  "       sdlbench_run --preset <name> [output_dir]\n"
                  "       sdlbench_run --campaign <campaign.yaml> [output_dir]\n"
+                 "       sdlbench_run --campaign <campaign.yaml> --resume <dir>\n"
+                 "       sdlbench_run --campaign <campaign.yaml> --shard i/N [output_dir]\n"
                  "       sdlbench_run --scenario <name|spec.yaml> [output_dir]\n"
                  "       sdlbench_run --list-scenarios\n"
                  "\n"
@@ -74,7 +87,17 @@ void print_usage(std::FILE* stream) {
                  "  --campaign <file>  run a campaign file: a cartesian grid of\n"
                  "                     workcell x solver x batch_size x objective x\n"
                  "                     target x replicates, in parallel on the\n"
-                 "                     thread pool\n"
+                 "                     thread pool; every finished cell is\n"
+                 "                     checkpointed to <out_dir>/cells.jsonl\n"
+                 "  --resume <dir>     resume an interrupted campaign from <dir>'s\n"
+                 "                     journal: completed cells are validated\n"
+                 "                     (spec + per-cell config digests) and\n"
+                 "                     skipped; the merged report is byte-\n"
+                 "                     identical to an uninterrupted run\n"
+                 "  --shard i/N        run only the cells with index = i-1 (mod N)\n"
+                 "                     (1-based i) — split one grid round-robin\n"
+                 "                     across machines, then fuse the journals\n"
+                 "                     with sdlbench_merge\n"
                  "  --scenario <ref>   run the experiment on a named workcell\n"
                  "                     scenario (see --list-scenarios) or a\n"
                  "                     workcell spec YAML file; composes with an\n"
@@ -122,10 +145,11 @@ core::ColorPickerConfig preset_by_name(const std::string& name) {
                              "' (expected quickstart, table1, table1_96well, fig3_portal)");
 }
 
+// All report/spec writes go through support::atomic_write so a crash
+// mid-write never leaves a torn document for a reader (or a resumed
+// campaign) to trust.
 void write_text_file(const std::string& path, const std::string& text) {
-    std::ofstream file(path, std::ios::binary);
-    if (!file) throw std::runtime_error("cannot open '" + path + "' for writing");
-    file << text;
+    support::atomic_write(path, text);
 }
 
 int run_single(const core::ColorPickerConfig& config, const std::string& out_dir,
@@ -180,24 +204,101 @@ int run_single(const core::ColorPickerConfig& config, const std::string& out_dir
 }
 
 int run_campaign(const std::string& spec_path, const std::string& out_dir,
-                 const std::string& json_path) {
+                 const std::string& json_path, const std::string& shard_text,
+                 bool resume) {
     const campaign::CampaignSpec spec = campaign::campaign_from_file(spec_path);
+    const campaign::Shard shard =
+        shard_text.empty() ? campaign::Shard{} : campaign::Shard::parse(shard_text);
+    std::vector<campaign::CampaignCell> grid = campaign::expand_grid(spec);
     std::printf("Campaign '%s': %zu cells (%zu workcells x %zu solvers x %zu batch "
                 "sizes x %zu objectives x %zu targets x %d replicates), N=%d per cell\n",
-                spec.name.c_str(), campaign::cell_count(spec),
-                spec.axes.workcells.size(), spec.axes.solvers.size(),
-                spec.axes.batch_sizes.size(), spec.axes.objectives.size(),
-                spec.axes.targets.size(), spec.replicates, spec.base.total_samples);
+                spec.name.c_str(), grid.size(), spec.axes.workcells.size(),
+                spec.axes.solvers.size(), spec.axes.batch_sizes.size(),
+                spec.axes.objectives.size(), spec.axes.targets.size(), spec.replicates,
+                spec.base.total_samples);
+
+    // The cells this invocation owns (round-robin slice for --shard).
+    std::vector<campaign::CampaignCell> todo;
+    for (const campaign::CampaignCell& cell : grid) {
+        if (shard.contains(cell.index)) todo.push_back(cell);
+    }
+    if (!shard.is_whole()) {
+        std::printf("Shard %s: %zu of %zu cells\n", shard.str().c_str(), todo.size(),
+                    grid.size());
+    }
+
+    std::vector<campaign::CellResult> done;
+    std::optional<campaign::CheckpointJournal> journal;
+    if (resume) {
+        campaign::LoadedJournal loaded =
+            campaign::load_journal(campaign::journal_path(out_dir), spec, grid);
+        if (!(loaded.shard == shard)) {
+            std::fprintf(stderr,
+                         "error: journal in '%s' belongs to shard %s; rerun with "
+                         "--shard %s (or without --shard for a whole-grid journal)\n",
+                         out_dir.c_str(), loaded.shard.str().c_str(),
+                         loaded.shard.str().c_str());
+            return 2;
+        }
+        done = std::move(loaded.cells);
+        // Compact before appending again: drops the torn final line a
+        // kill may have left, so new records don't glue onto it.
+        std::string compacted;
+        for (const std::string& line : loaded.lines) {
+            compacted += line;
+            compacted += '\n';
+        }
+        support::atomic_write(campaign::journal_path(out_dir), compacted);
+        std::printf("Resuming: %zu cells already journaled%s, %zu still to run\n",
+                    done.size(),
+                    loaded.dropped_torn_tail ? " (dropped a truncated final record)"
+                                             : "",
+                    todo.size() - done.size());
+        std::vector<bool> have(grid.size(), false);
+        for (const campaign::CellResult& result : done) have[result.cell.index] = true;
+        std::erase_if(todo, [&](const campaign::CampaignCell& cell) {
+            return have[cell.index];
+        });
+        journal.emplace(campaign::CheckpointJournal::reopen(out_dir));
+    } else {
+        // Refuse to silently wipe real progress: a journal for this very
+        // spec with completed cells almost certainly means a crashed run
+        // whose operator forgot --resume.
+        const std::size_t progress =
+            campaign::journal_progress(campaign::journal_path(out_dir), spec);
+        if (progress > 0) {
+            std::fprintf(stderr,
+                         "error: '%s' already holds a journal with %zu completed "
+                         "cell(s) for this campaign — pass --resume %s to continue "
+                         "it, or delete %s to start over\n",
+                         out_dir.c_str(), progress, out_dir.c_str(),
+                         campaign::journal_path(out_dir).c_str());
+            return 2;
+        }
+        std::filesystem::create_directories(out_dir);
+        journal.emplace(out_dir, spec, grid.size(), shard);
+    }
 
     campaign::CampaignRunnerOptions options;
-    options.on_cell_done = [](const campaign::CellResult& result, std::size_t done,
-                              std::size_t total) {
-        std::printf("  [%zu/%zu] %s best=%.2f (%.1fs)\n", done, total,
+    // Serialized by the runner (one mutex around progress + hook), so the
+    // journal append and the progress line never interleave.
+    options.on_cell_done = [&journal](const campaign::CellResult& result,
+                                      std::size_t done_count, std::size_t total) {
+        journal->append(result);
+        std::printf("  [%zu/%zu] %s best=%.2f (%.1fs)\n", done_count, total,
                     result.cell.config.experiment_id.c_str(), result.outcome.best_score,
                     result.wall_seconds);
     };
     const campaign::CampaignRunner runner(options);
-    const std::vector<campaign::CellResult> results = runner.run(spec);
+    std::vector<campaign::CellResult> results = runner.run_cells(std::move(todo));
+
+    // Merge resumed cells back in and restore grid order so the report
+    // is byte-identical to an uninterrupted run.
+    for (campaign::CellResult& result : done) results.push_back(std::move(result));
+    std::sort(results.begin(), results.end(),
+              [](const campaign::CellResult& a, const campaign::CellResult& b) {
+                  return a.cell.index < b.cell.index;
+              });
 
     support::TextTable table({"Workcell", "Solver", "B", "Objective", "Target", "Reps",
                               "Best (mean±sd)", "Total time", "Time per color"});
@@ -218,17 +319,18 @@ int run_campaign(const std::string& spec_path, const std::string& out_dir,
     }
     std::printf("\n%s", table.str().c_str());
 
-    const std::string doc_text =
-        campaign::campaign_results_to_json(spec, results).pretty() + "\n";
-    std::filesystem::create_directories(out_dir);
-    write_text_file(out_dir + "/campaign.json", doc_text);
-    write_text_file(out_dir + "/campaign.csv", campaign::campaign_results_to_csv(results));
+    const std::string doc_text = campaign::write_campaign_outputs(out_dir, spec, results);
     if (!json_path.empty()) {
         write_text_file(json_path, doc_text);
         std::printf("\nWrote result document to %s\n", json_path.c_str());
     }
-    std::printf("\nWrote %s/{campaign.json, campaign.csv} (%zu cells).\n",
+    std::printf("\nWrote %s/{campaign.json, campaign.csv, cells.jsonl} (%zu cells).\n",
                 out_dir.c_str(), results.size());
+    if (!shard.is_whole()) {
+        std::printf("Shard report covers this shard only; fuse all %zu journals with "
+                    "sdlbench_merge.\n",
+                    shard.count);
+    }
     return 0;
 }
 
@@ -254,6 +356,8 @@ int main(int argc, char** argv) {
     std::string campaign_path;
     std::string scenario;
     std::string json_path;
+    std::string shard;
+    std::string resume_dir;
     for (auto it = args.begin(); it != args.end();) {
         const auto take_value = [&](const char* flag, std::string& into) {
             if (std::next(it) == args.end()) {
@@ -272,9 +376,25 @@ int main(int argc, char** argv) {
             if (!take_value("--scenario", scenario)) return 2;
         } else if (*it == "--json") {
             if (!take_value("--json", json_path)) return 2;
+        } else if (*it == "--shard") {
+            if (!take_value("--shard", shard)) return 2;
+        } else if (*it == "--resume") {
+            if (!take_value("--resume", resume_dir)) return 2;
         } else {
             ++it;
         }
+    }
+    if ((!shard.empty() || !resume_dir.empty()) && campaign_path.empty()) {
+        std::fprintf(stderr, "error: %s only applies to --campaign runs\n",
+                     shard.empty() ? "--resume" : "--shard");
+        return 2;
+    }
+    if (!resume_dir.empty() && !args.empty()) {
+        std::fprintf(stderr,
+                     "error: --resume <dir> already names the output directory; "
+                     "drop the positional '%s'\n",
+                     args[0].c_str());
+        return 2;
     }
 
     const bool has_mode_flag =
@@ -310,11 +430,14 @@ int main(int argc, char** argv) {
     support::set_log_level(support::LogLevel::Warn);
     const std::size_t out_dir_index = (has_mode_flag && !scenario_with_file) ? 0 : 1;
     const std::string out_dir =
-        args.size() > out_dir_index ? args[out_dir_index] : "sdlbench_out";
+        !resume_dir.empty()
+            ? resume_dir
+            : (args.size() > out_dir_index ? args[out_dir_index] : "sdlbench_out");
 
     try {
         if (!campaign_path.empty()) {
-            return run_campaign(campaign_path, out_dir, json_path);
+            return run_campaign(campaign_path, out_dir, json_path, shard,
+                                !resume_dir.empty());
         }
         core::ColorPickerConfig config;
         if (!preset.empty()) {
