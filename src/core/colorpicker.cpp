@@ -95,8 +95,14 @@ ColorPickerApp::BatchReadout ColorPickerApp::mix_and_measure(
     read_params.geometry = runtime_->camera().scene().geometry;
     read_params.geometry.rows = config.plate_rows;
     read_params.geometry.cols = config.plate_cols;
-    imaging::WellReadout readout =
-        imaging::read_plate(runtime_->camera().frame(frame_id), read_params);
+    const auto read_frame = [&](std::int64_t id) {
+        if (!config.vision_roi_fast_path) {
+            return imaging::read_plate(runtime_->camera().frame(id), read_params);
+        }
+        if (!reader_.has_value()) reader_.emplace(read_params);
+        return reader_->read(runtime_->camera().frame(id));
+    };
+    imaging::WellReadout readout = read_frame(frame_id);
     int retakes = 0;
     while (!readout.ok && retakes < kMaxRetakes) {
         ++retakes;
@@ -104,7 +110,7 @@ ColorPickerApp::BatchReadout ColorPickerApp::mix_and_measure(
                           "); retaking photo (attempt ", retakes, ")");
         const wei::WorkflowRunStats retake = runtime_->engine().run(wf_retake());
         frame_id = retake.results.back().data.at("frame_id").as_int();
-        readout = imaging::read_plate(runtime_->camera().frame(frame_id), read_params);
+        readout = read_frame(frame_id);
     }
     if (!readout.ok) {
         throw wei::WorkflowError("vision pipeline failed after " +

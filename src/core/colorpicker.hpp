@@ -22,6 +22,7 @@
 
 #include "core/experiment_config.hpp"
 #include "core/workcell_runtime.hpp"
+#include "imaging/well_reader.hpp"
 #include "solver/solver.hpp"
 
 namespace sdl::core {
@@ -79,6 +80,10 @@ private:
     std::unique_ptr<WorkcellRuntime> owned_runtime_;  ///< null when borrowing
     WorkcellRuntime* runtime_ = nullptr;
     std::unique_ptr<solver::Solver> solver_;
+    /// Session vision reader: reuses the frame scratch pool and tracks
+    /// the marker ROI across batches (bitwise identical to per-frame
+    /// read_plate; see ColorPickerConfig::vision_roi_fast_path).
+    std::optional<imaging::PlateReader> reader_;
 
     ExperimentOutcome outcome_;
     std::optional<wei::PlateId> current_plate_;

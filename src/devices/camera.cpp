@@ -61,7 +61,14 @@ wei::ActionResult CameraSim::execute(const wei::ActionRequest& request) {
     }
 
     const std::int64_t frame_id = next_frame_id_++;
-    frames_.emplace(frame_id, imaging::render_plate(scene, colors, rng_, &filled));
+    // Glitched scenes (marker moved) would evict the base cache twice per
+    // glitch; render them one-shot so the cache keeps serving the normal
+    // pose. Either path produces bitwise-identical frames.
+    if (config_.cache_base_raster && !glitched) {
+        frames_.emplace(frame_id, renderer_.render(scene, colors, rng_, &filled));
+    } else {
+        frames_.emplace(frame_id, imaging::render_plate(scene, colors, rng_, &filled));
+    }
     while (frames_.size() > config_.max_frames) {
         frames_.erase(frames_.begin());  // evict the oldest frame
     }

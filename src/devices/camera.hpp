@@ -33,6 +33,11 @@ struct CameraConfig {
     /// device level; the vision pipeline discovers the problem and the
     /// application retakes the photo.
     double glitch_prob = 0.0;
+    /// Reuse the deterministic background+plate raster across captures of
+    /// an unchanged scene (imaging::PlateRenderer). Frames are bitwise
+    /// identical either way; the flag exists for identity tests and
+    /// benchmarks.
+    bool cache_base_raster = true;
 };
 
 /// Actions:
@@ -60,6 +65,7 @@ private:
     wei::LocationMap& locations_;
     wei::ModuleInfo info_;
     support::Rng rng_;
+    imaging::PlateRenderer renderer_;  ///< base-raster cache across captures
     std::map<std::int64_t, imaging::Image> frames_;
     std::int64_t next_frame_id_ = 1;
 };

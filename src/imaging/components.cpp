@@ -1,23 +1,32 @@
 #include "imaging/components.hpp"
 
 #include <limits>
+#include <utility>
 
 namespace sdl::imaging {
 
 Labeling label_components(const BinaryImage& mask, std::size_t min_area) {
+    LabelScratch scratch;
+    label_components(mask, min_area, scratch);
+    return std::move(scratch.labeling);
+}
+
+void label_components(const BinaryImage& mask, std::size_t min_area,
+                      LabelScratch& scratch) {
     const int width = mask.width();
     const int height = mask.height();
-    Labeling out;
+    Labeling& out = scratch.labeling;
     out.width = width;
     out.height = height;
     out.labels.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), -1);
+    out.blobs.clear();
 
     auto label_ref = [&](int x, int y) -> std::int32_t& {
         return out.labels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
                           static_cast<std::size_t>(x)];
     };
 
-    std::vector<std::pair<int, int>> stack;
+    std::vector<std::pair<int, int>>& stack = scratch.stack;
     for (int sy = 0; sy < height; ++sy) {
         for (int sx = 0; sx < width; ++sx) {
             if (!mask.at(sx, sy) || label_ref(sx, sy) != -1) continue;
@@ -71,7 +80,7 @@ Labeling label_components(const BinaryImage& mask, std::size_t min_area) {
 
     // Component indices may have gaps after dropping small blobs; remap to
     // dense indices so labels match positions in `blobs`.
-    std::vector<std::int32_t> remap;
+    std::vector<std::int32_t>& remap = scratch.remap;
     remap.assign(out.blobs.empty() ? 0 : static_cast<std::size_t>(out.blobs.back().label) + 1,
                  -1);
     for (std::size_t i = 0; i < out.blobs.size(); ++i) {
@@ -81,11 +90,17 @@ Labeling label_components(const BinaryImage& mask, std::size_t min_area) {
     for (auto& l : out.labels) {
         if (l >= 0) l = l < static_cast<std::int32_t>(remap.size()) ? remap[static_cast<std::size_t>(l)] : -1;
     }
-    return out;
 }
 
 std::vector<Vec2> boundary_pixels(const Labeling& labeling, std::int32_t blob_index) {
     std::vector<Vec2> boundary;
+    boundary_pixels(labeling, blob_index, boundary);
+    return boundary;
+}
+
+void boundary_pixels(const Labeling& labeling, std::int32_t blob_index,
+                     std::vector<Vec2>& out) {
+    out.clear();
     const Blob& blob = labeling.blobs.at(static_cast<std::size_t>(blob_index));
     for (int y = blob.bbox.y0; y < blob.bbox.y1; ++y) {
         for (int x = blob.bbox.x0; x < blob.bbox.x1; ++x) {
@@ -101,10 +116,9 @@ std::vector<Vec2> boundary_pixels(const Labeling& labeling, std::int32_t blob_in
                     }
                 }
             }
-            if (edge) boundary.push_back({static_cast<double>(x), static_cast<double>(y)});
+            if (edge) out.push_back({static_cast<double>(x), static_cast<double>(y)});
         }
     }
-    return boundary;
 }
 
 }  // namespace sdl::imaging

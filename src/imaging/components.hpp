@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "imaging/geometry.hpp"
@@ -34,9 +35,26 @@ struct Labeling {
 /// `min_area` are dropped (merged into background).
 [[nodiscard]] Labeling label_components(const BinaryImage& mask, std::size_t min_area = 1);
 
+/// Reusable labeling workspace: the label plane, blob list, and the
+/// flood-fill stack all persist across frames.
+struct LabelScratch {
+    Labeling labeling;
+    std::vector<std::pair<int, int>> stack;
+    std::vector<std::int32_t> remap;
+};
+
+/// label_components into a persistent workspace; the result lives in
+/// `scratch.labeling` (valid until the next call on the same scratch).
+void label_components(const BinaryImage& mask, std::size_t min_area,
+                      LabelScratch& scratch);
+
 /// Pixels of `blob` that touch the background (its boundary), used for
 /// corner extraction.
 [[nodiscard]] std::vector<Vec2> boundary_pixels(const Labeling& labeling,
                                                 std::int32_t blob_index);
+
+/// boundary_pixels into a reusable vector (cleared, then filled).
+void boundary_pixels(const Labeling& labeling, std::int32_t blob_index,
+                     std::vector<Vec2>& out);
 
 }  // namespace sdl::imaging

@@ -141,8 +141,13 @@ namespace {
 
 /// Samples the marker payload through the homography and thresholds cells
 /// against the midpoint of observed extremes. Returns nullopt if the
-/// border is not uniformly dark.
-std::optional<std::uint16_t> sample_payload(const GrayImage& gray, const Homography& h) {
+/// border is not uniformly dark. `gray` may be a region crop whose
+/// top-left frame coordinate is (ox, oy); the homography maps into frame
+/// coordinates, and subtracting the integer offsets is exact in floating
+/// point, so region sampling carries the same bits as full-frame
+/// sampling wherever the crop values match.
+std::optional<std::uint16_t> sample_payload(const GrayImage& gray, const Homography& h,
+                                            int ox, int oy) {
     std::array<std::array<float, kMarkerCells>, kMarkerCells> cells{};
     float lo = 1.0F, hi = 0.0F;
     for (int r = 0; r < kMarkerCells; ++r) {
@@ -154,7 +159,7 @@ std::optional<std::uint16_t> sample_payload(const GrayImage& gray, const Homogra
                     const double u = (c + 0.5 + dx * 0.2) / kMarkerCells;
                     const double v = (r + 0.5 + dy * 0.2) / kMarkerCells;
                     const Vec2 p = h.apply({u, v});
-                    acc += sample_bilinear(gray, p.x, p.y);
+                    acc += sample_bilinear(gray, p.x - ox, p.y - oy);
                 }
             }
             const float val = acc / 9.0F;
@@ -188,26 +193,74 @@ std::optional<std::uint16_t> sample_payload(const GrayImage& gray, const Homogra
 
 }  // namespace
 
-std::vector<MarkerDetection> detect_markers(const Image& img, const MarkerDictionary& dict,
-                                            const MarkerDetectParams& params) {
-    std::vector<MarkerDetection> detections;
-    if (img.width() < 8 || img.height() < 8) return detections;
+int marker_region_margin(const MarkerDetectParams& params) {
+    // The threshold mask at a pixel reads the blurred plane across the
+    // adaptive half window, the blurred plane reads the gray plane across
+    // the kernel radius, and labeling/boundary extraction look one more
+    // pixel out; +1 slack rounds the reach up.
+    const int blur_radius =
+        params.blur_sigma > 0.0 ? static_cast<int>(std::ceil(3.0 * params.blur_sigma)) : 0;
+    return params.adaptive_window / 2 + blur_radius + 2;
+}
 
-    const GrayImage gray = to_gray(img);
-    const GrayImage smooth = gaussian_blur(gray, params.blur_sigma);
-    const BinaryImage dark = adaptive_threshold(smooth, params.adaptive_window,
-                                                params.adaptive_offset);
+namespace {
+
+/// Shared pipeline for full-frame and region-restricted detection.
+/// Returns false when a plausibly marker-sized blob touched the
+/// contaminated band along an interior region edge (see header).
+bool detect_impl(const Image& img, const MarkerDictionary& dict,
+                 const MarkerDetectParams& params, Rect region, MarkerScratch& scratch,
+                 std::vector<MarkerDetection>& out) {
+    out.clear();
+    if (img.width() < 8 || img.height() < 8) return true;
+    const Rect r = region.clipped(img.width(), img.height());
+    if (r.width() < 8 || r.height() < 8) return false;
+
+    to_gray_roi(img, r, scratch.gray);
+    gaussian_blur(scratch.gray, params.blur_sigma, scratch.smooth, scratch.blur);
+    adaptive_threshold(scratch.smooth, params.adaptive_window, params.adaptive_offset,
+                       scratch.dark, scratch.integral);
     const auto min_area =
         static_cast<std::size_t>(params.min_side_px * params.min_side_px * 0.3);
-    const Labeling labeling = label_components(dark, min_area);
+    label_components(scratch.dark, min_area, scratch.labels);
+    const Labeling& labeling = scratch.labels.labeling;
 
+    // Filter outputs near an interior crop edge differ from a full-frame
+    // run (the filters clamp at the crop instead of seeing the real
+    // neighborhood); a frame edge behaves identically in both runs.
+    const int margin = marker_region_margin(params);
+    const bool guard_left = r.x0 > 0;
+    const bool guard_top = r.y0 > 0;
+    const bool guard_right = r.x1 < img.width();
+    const bool guard_bottom = r.y1 < img.height();
+
+    bool clean = true;
     for (std::int32_t i = 0; i < static_cast<std::int32_t>(labeling.blobs.size()); ++i) {
         const Blob& blob = labeling.blobs[static_cast<std::size_t>(i)];
         const double bbox_side = std::max(blob.bbox.width(), blob.bbox.height());
-        if (bbox_side < params.min_side_px || bbox_side > params.max_side_px * 1.5) continue;
+        const bool plausible =
+            bbox_side >= params.min_side_px && bbox_side <= params.max_side_px * 1.5;
+        const bool contaminated = (guard_left && blob.bbox.x0 < margin) ||
+                                  (guard_top && blob.bbox.y0 < margin) ||
+                                  (guard_right && blob.bbox.x1 > r.width() - margin) ||
+                                  (guard_bottom && blob.bbox.y1 > r.height() - margin);
+        if (contaminated) {
+            if (plausible) clean = false;
+            continue;
+        }
+        if (!plausible) continue;
 
-        const std::vector<Vec2> boundary = boundary_pixels(labeling, i);
-        const auto quad = extract_quad(boundary);
+        boundary_pixels(labeling, i, scratch.boundary);
+        if (r.x0 != 0 || r.y0 != 0) {
+            // Integer translation of integer-valued coordinates is exact:
+            // from here on all geometry runs in frame coordinates, bit for
+            // bit as the full-frame pipeline computes it.
+            for (Vec2& p : scratch.boundary) {
+                p.x += r.x0;
+                p.y += r.y0;
+            }
+        }
+        const auto quad = extract_quad(scratch.boundary);
         if (!quad) continue;
         if (squareness(*quad) < params.min_squareness) continue;
         const double side = mean_side(*quad);
@@ -225,7 +278,7 @@ std::vector<MarkerDetection> detect_markers(const Image& img, const MarkerDictio
         } catch (const support::Error&) {
             continue;
         }
-        const auto payload = sample_payload(smooth, h);
+        const auto payload = sample_payload(scratch.smooth, h, r.x0, r.y0);
         if (!payload) continue;
         const auto match = dict.match(*payload, params.max_correctable_bits);
         if (!match) continue;
@@ -244,9 +297,32 @@ std::vector<MarkerDetection> detect_markers(const Image& img, const MarkerDictio
         const std::size_t j1 = (j0 + 1) % 4;
         const Vec2 xaxis = det.corners[j1] - det.corners[j0];
         det.angle = std::atan2(xaxis.y, xaxis.x);
-        detections.push_back(det);
+        out.push_back(det);
     }
+    return clean;
+}
+
+}  // namespace
+
+std::vector<MarkerDetection> detect_markers(const Image& img, const MarkerDictionary& dict,
+                                            const MarkerDetectParams& params) {
+    MarkerScratch scratch;
+    std::vector<MarkerDetection> detections;
+    detect_markers(img, dict, params, scratch, detections);
     return detections;
+}
+
+void detect_markers(const Image& img, const MarkerDictionary& dict,
+                    const MarkerDetectParams& params, MarkerScratch& scratch,
+                    std::vector<MarkerDetection>& out) {
+    (void)detect_impl(img, dict, params, {0, 0, img.width(), img.height()}, scratch, out);
+}
+
+bool detect_markers_in_region(const Image& img, const MarkerDictionary& dict,
+                              const MarkerDetectParams& params, Rect region,
+                              MarkerScratch& scratch,
+                              std::vector<MarkerDetection>& out) {
+    return detect_impl(img, dict, params, region, scratch, out);
 }
 
 }  // namespace sdl::imaging

@@ -13,6 +13,8 @@
 #include <optional>
 #include <vector>
 
+#include "imaging/components.hpp"
+#include "imaging/filters.hpp"
 #include "imaging/image.hpp"
 #include "imaging/quad.hpp"
 #include "support/random.hpp"
@@ -90,5 +92,50 @@ struct MarkerDetectParams {
 /// Finds all dictionary markers in the frame.
 [[nodiscard]] std::vector<MarkerDetection> detect_markers(
     const Image& img, const MarkerDictionary& dict, const MarkerDetectParams& params = {});
+
+/// Reusable detection workspace: the gray/blurred/thresholded planes,
+/// the summed-area table, the labeling, and the boundary buffer all
+/// persist across frames (no allocation once warm). One per camera or
+/// reader session; never shared across threads.
+struct MarkerScratch {
+    GrayImage gray;
+    GrayImage smooth;
+    BlurScratch blur;
+    BinaryImage dark;
+    std::vector<double> integral;
+    LabelScratch labels;
+    std::vector<Vec2> boundary;
+};
+
+/// detect_markers with a persistent workspace; fills `out` (cleared
+/// first). Results are bitwise identical to detect_markers.
+void detect_markers(const Image& img, const MarkerDictionary& dict,
+                    const MarkerDetectParams& params, MarkerScratch& scratch,
+                    std::vector<MarkerDetection>& out);
+
+/// Pixel margin a blob must keep from any interior (non-frame) edge of a
+/// detection region for the region-restricted pipeline to reproduce the
+/// full-frame filter outputs over that blob exactly: the adaptive
+/// threshold's half window, plus the blur kernel radius, plus the
+/// labeling/boundary pixel neighborhood.
+[[nodiscard]] int marker_region_margin(const MarkerDetectParams& params);
+
+/// Region-restricted detection — the ROI fast path. Runs the same
+/// pipeline over `region` (clipped to the frame) only, producing
+/// detections in frame coordinates. Every detection returned comes from
+/// a blob that kept marker_region_margin() pixels clear of interior
+/// region edges, and is therefore bitwise identical to the detection a
+/// full-frame detect_markers would produce for the same blob; blobs
+/// inside the contaminated band are skipped, never decoded differently.
+/// The return value reports completeness: true when no plausibly
+/// marker-sized blob was skipped (the region scan saw everything a full
+/// scan would see inside `region`), false when one was. A region scan
+/// cannot see markers outside `region` either way; callers that need
+/// every marker in the frame — not just one tracked marker with a
+/// full-frame fallback — must scan the full frame.
+bool detect_markers_in_region(const Image& img, const MarkerDictionary& dict,
+                              const MarkerDetectParams& params, Rect region,
+                              MarkerScratch& scratch,
+                              std::vector<MarkerDetection>& out);
 
 }  // namespace sdl::imaging

@@ -4,11 +4,23 @@
 #include <cmath>
 
 #include "imaging/filters.hpp"
+#include "linalg/fastmath.hpp"
 #include "support/common.hpp"
 
 namespace sdl::imaging {
 
+// The vote accumulator issues hundreds of thousands of roundings per
+// frame and std::lround was its single largest cost; see fastmath.hpp
+// for round_half_away's (documented, tolerated) boundary behavior.
+using linalg::round_half_away;
+
 std::vector<CircleDetection> hough_circles(const GrayImage& gray, const HoughParams& params) {
+    HoughScratch scratch;
+    return hough_circles(gray, params, scratch);
+}
+
+std::vector<CircleDetection> hough_circles(const GrayImage& gray, const HoughParams& params,
+                                           HoughScratch& scratch) {
     support::check(params.r_min > 0 && params.r_max >= params.r_min, "invalid radius range");
     std::vector<CircleDetection> circles;
 
@@ -21,30 +33,46 @@ std::vector<CircleDetection> hough_circles(const GrayImage& gray, const HoughPar
     const int rh = roi.height();
     if (rw < 3 || rh < 3) return circles;
 
-    // Work on a cropped copy so smoothing and gradients cost O(ROI), not
-    // O(frame) — the plate region is typically a fraction of the image.
-    GrayImage cropped(rw, rh);
-    for (int y = 0; y < rh; ++y) {
-        for (int x = 0; x < rw; ++x) {
-            cropped.at(x, y) = gray.at(x + roi.x0, y + roi.y0);
+    // Work on a cropped view so smoothing and gradients cost O(ROI), not
+    // O(frame) — the plate region is typically a fraction of the image. A
+    // ROI spanning the whole input (the reader's pre-cropped fast path)
+    // needs no copy at all.
+    const bool whole = roi.x0 == 0 && roi.y0 == 0 && rw == gray.width() &&
+                       rh == gray.height();
+    if (!whole) {
+        scratch.cropped.reset(rw, rh);
+        for (int y = 0; y < rh; ++y) {
+            const float* src = gray.values().data() +
+                               static_cast<std::size_t>(y + roi.y0) *
+                                   static_cast<std::size_t>(gray.width()) +
+                               static_cast<std::size_t>(roi.x0);
+            float* dst = scratch.cropped.values().data() +
+                         static_cast<std::size_t>(y) * static_cast<std::size_t>(rw);
+            for (int x = 0; x < rw; ++x) dst[x] = src[x];
         }
     }
-    const GrayImage smooth = gaussian_blur(cropped, params.blur_sigma);
-    const Gradients grad = sobel(smooth);
+    const GrayImage& cropped = whole ? gray : scratch.cropped;
+    gaussian_blur(cropped, params.blur_sigma, scratch.smooth, scratch.blur);
+    const GrayImage& smooth = scratch.smooth;
+    sobel(smooth, scratch.grad);
+    const Gradients& grad = scratch.grad;
 
-    // Edge pixels (local ROI coordinates).
-    struct Edge {
-        float x;
-        float y;
-        float dx;
-        float dy;
-    };
-    std::vector<Edge> edges;
+    // Edge pixels (local ROI coordinates). The magnitude is
+    // sqrt(gx^2 + gy^2) rather than hypot(): the operands are tame
+    // (|g| < 8), so overflow care buys nothing, and sqrt keeps this loop
+    // out of a libm slow path that used to dominate edge collection.
+    using Edge = HoughScratch::Edge;
+    std::vector<Edge>& edges = scratch.edges;
+    edges.clear();
     for (int y = 0; y < rh; ++y) {
+        const float* grow = grad.gx.values().data() +
+                            static_cast<std::size_t>(y) * static_cast<std::size_t>(rw);
+        const float* grow_y = grad.gy.values().data() +
+                              static_cast<std::size_t>(y) * static_cast<std::size_t>(rw);
         for (int x = 0; x < rw; ++x) {
-            const double gx = grad.gx.at(x, y);
-            const double gy = grad.gy.at(x, y);
-            const double mag = std::hypot(gx, gy);
+            const double gx = grow[x];
+            const double gy = grow_y[x];
+            const double mag = std::sqrt(gx * gx + gy * gy);
             if (mag < params.grad_threshold) continue;
             edges.push_back({static_cast<float>(x), static_cast<float>(y),
                              static_cast<float>(gx / mag), static_cast<float>(gy / mag)});
@@ -53,14 +81,15 @@ std::vector<CircleDetection> hough_circles(const GrayImage& gray, const HoughPar
     if (edges.empty()) return circles;
 
     // Stage 1: center accumulator.
-    std::vector<float> acc(static_cast<std::size_t>(rw) * static_cast<std::size_t>(rh), 0.0F);
+    std::vector<float>& acc = scratch.acc;
+    acc.assign(static_cast<std::size_t>(rw) * static_cast<std::size_t>(rh), 0.0F);
     const int ir_min = static_cast<int>(std::floor(params.r_min));
     const int ir_max = static_cast<int>(std::ceil(params.r_max));
     for (const Edge& e : edges) {
         for (int r = ir_min; r <= ir_max; ++r) {
             for (const int sign : {-1, 1}) {
-                const int cx = static_cast<int>(std::lround(e.x + sign * r * e.dx));
-                const int cy = static_cast<int>(std::lround(e.y + sign * r * e.dy));
+                const int cx = round_half_away(e.x + sign * r * e.dx);
+                const int cy = round_half_away(e.y + sign * r * e.dy);
                 if (cx < 0 || cx >= rw || cy < 0 || cy >= rh) continue;
                 acc[static_cast<std::size_t>(cy) * static_cast<std::size_t>(rw) +
                     static_cast<std::size_t>(cx)] += 1.0F;
@@ -69,28 +98,32 @@ std::vector<CircleDetection> hough_circles(const GrayImage& gray, const HoughPar
     }
 
     // Light 3x3 smoothing concentrates votes split between adjacent bins.
-    std::vector<float> smooth_acc(acc.size(), 0.0F);
+    // Separable (vertical then horizontal): every accumulator value is an
+    // integer-valued float well below 2^24, so the box sums are exact and
+    // identical to the direct 9-tap sum regardless of addition order.
+    std::vector<float>& vsum = scratch.acc_vsum;
+    vsum.assign(acc.size(), 0.0F);
     for (int y = 1; y < rh - 1; ++y) {
+        const float* above = acc.data() + static_cast<std::size_t>(y - 1) * static_cast<std::size_t>(rw);
+        const float* here = above + static_cast<std::size_t>(rw);
+        const float* below = here + static_cast<std::size_t>(rw);
+        float* out = vsum.data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(rw);
+        for (int x = 0; x < rw; ++x) out[x] = above[x] + here[x] + below[x];
+    }
+    std::vector<float>& smooth_acc = scratch.smooth_acc;
+    smooth_acc.assign(acc.size(), 0.0F);
+    for (int y = 1; y < rh - 1; ++y) {
+        const float* src = vsum.data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(rw);
+        float* out = smooth_acc.data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(rw);
         for (int x = 1; x < rw - 1; ++x) {
-            float s = 0.0F;
-            for (int dy = -1; dy <= 1; ++dy) {
-                for (int dx = -1; dx <= 1; ++dx) {
-                    s += acc[static_cast<std::size_t>(y + dy) * static_cast<std::size_t>(rw) +
-                             static_cast<std::size_t>(x + dx)];
-                }
-            }
-            smooth_acc[static_cast<std::size_t>(y) * static_cast<std::size_t>(rw) +
-                       static_cast<std::size_t>(x)] = s / 9.0F;
+            out[x] = (src[x - 1] + src[x] + src[x + 1]) / 9.0F;
         }
     }
 
     // Collect local maxima.
-    struct Peak {
-        int x;
-        int y;
-        float votes;
-    };
-    std::vector<Peak> peaks;
+    using Peak = HoughScratch::Peak;
+    std::vector<Peak>& peaks = scratch.peaks;
+    peaks.clear();
     float strongest = 0.0F;
     for (int y = 1; y < rh - 1; ++y) {
         for (int x = 1; x < rw - 1; ++x) {
@@ -121,7 +154,36 @@ std::vector<CircleDetection> hough_circles(const GrayImage& gray, const HoughPar
                                        params.vote_fraction * static_cast<double>(strongest));
     const double min_dist2 = params.min_center_dist * params.min_center_dist;
     const float reach = static_cast<float>(ir_max + 1);
-    std::vector<int> radius_hist(static_cast<std::size_t>(ir_max) + 2, 0);
+    std::vector<int>& radius_hist = scratch.radius_hist;
+    radius_hist.assign(static_cast<std::size_t>(ir_max) + 2, 0);
+
+    // Spatial grid over the edges (CSR buckets) so each peak's radius
+    // scan touches only nearby edges instead of the whole list. Cells are
+    // wider than the gating reach by a safe margin, so every edge inside
+    // the distance gate lives in the peak's 3x3 cell neighborhood and the
+    // (integer) histogram is identical to a full scan.
+    const int cell = static_cast<int>(reach) + 2;
+    const int grid_w = (rw + cell - 1) / cell;
+    const int grid_h = (rh + cell - 1) / cell;
+    std::vector<std::int32_t>& bucket_start = scratch.bucket_start;
+    std::vector<std::int32_t>& bucket_fill = scratch.bucket_fill;
+    std::vector<std::int32_t>& bucket_items = scratch.bucket_items;
+    const auto cell_of = [&](const Edge& e) {
+        return (static_cast<int>(e.y) / cell) * grid_w + static_cast<int>(e.x) / cell;
+    };
+    bucket_start.assign(static_cast<std::size_t>(grid_w) * grid_h + 1, 0);
+    for (const Edge& e : edges) ++bucket_start[static_cast<std::size_t>(cell_of(e)) + 1];
+    for (std::size_t i = 1; i < bucket_start.size(); ++i) {
+        bucket_start[i] += bucket_start[i - 1];
+    }
+    bucket_fill.assign(bucket_start.begin(), bucket_start.end() - 1);
+    bucket_items.resize(edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        bucket_items[static_cast<std::size_t>(
+            bucket_fill[static_cast<std::size_t>(cell_of(edges[i]))]++)] =
+            static_cast<std::int32_t>(i);
+    }
+
     for (const Peak& p : peaks) {
         if (p.votes < vote_floor) break;
         bool suppressed = false;
@@ -141,18 +203,29 @@ std::vector<CircleDetection> hough_circles(const GrayImage& gray, const HoughPar
         std::fill(radius_hist.begin(), radius_hist.end(), 0);
         const float r2_max = reach * reach;
         const float r2_min = static_cast<float>((ir_min - 1) * (ir_min - 1));
-        for (const Edge& e : edges) {
-            const float dx = e.x - static_cast<float>(p.x);
-            const float dy = e.y - static_cast<float>(p.y);
-            const float d2 = dx * dx + dy * dy;
-            if (d2 > r2_max || d2 < r2_min || d2 < 1e-6F) continue;
-            const float d = std::sqrt(d2);
-            // The gradient must be near-radial for this edge to support
-            // the circle.
-            const float align = std::fabs((dx * e.dx + dy * e.dy) / d);
-            if (align < 0.85F) continue;
-            const auto bin = static_cast<std::size_t>(std::lround(d));
-            if (bin < radius_hist.size()) ++radius_hist[bin];
+        const int pcx = p.x / cell;
+        const int pcy = p.y / cell;
+        for (int by = std::max(0, pcy - 1); by <= std::min(grid_h - 1, pcy + 1); ++by) {
+            for (int bx = std::max(0, pcx - 1); bx <= std::min(grid_w - 1, pcx + 1);
+                 ++bx) {
+                const std::size_t bucket = static_cast<std::size_t>(by) * grid_w + bx;
+                for (std::int32_t k = bucket_start[bucket];
+                     k < bucket_start[bucket + 1]; ++k) {
+                    const Edge& e = edges[static_cast<std::size_t>(
+                        bucket_items[static_cast<std::size_t>(k)])];
+                    const float dx = e.x - static_cast<float>(p.x);
+                    const float dy = e.y - static_cast<float>(p.y);
+                    const float d2 = dx * dx + dy * dy;
+                    if (d2 > r2_max || d2 < r2_min || d2 < 1e-6F) continue;
+                    const float d = std::sqrt(d2);
+                    // The gradient must be near-radial for this edge to
+                    // support the circle.
+                    const float align = std::fabs((dx * e.dx + dy * e.dy) / d);
+                    if (align < 0.85F) continue;
+                    const auto bin = static_cast<std::size_t>(round_half_away(d));
+                    if (bin < radius_hist.size()) ++radius_hist[bin];
+                }
+            }
         }
         std::size_t best_bin = static_cast<std::size_t>(ir_min);
         for (std::size_t r = static_cast<std::size_t>(ir_min); r < radius_hist.size(); ++r) {

@@ -8,8 +8,10 @@
 // the paper uses to find microplate wells (§2.4).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "imaging/filters.hpp"
 #include "imaging/geometry.hpp"
 #include "imaging/image.hpp"
 
@@ -38,5 +40,44 @@ struct HoughParams {
 /// strongest first.
 [[nodiscard]] std::vector<CircleDetection> hough_circles(const GrayImage& gray,
                                                          const HoughParams& params);
+
+/// Reusable transform workspace: crop/smooth planes, gradient planes,
+/// edge list, accumulators, and the radius histogram persist across
+/// frames. One per reader session; never shared across threads.
+struct HoughScratch {
+    struct Edge {
+        float x;
+        float y;
+        float dx;
+        float dy;
+    };
+    struct Peak {
+        int x;
+        int y;
+        float votes;
+    };
+    GrayImage cropped;
+    GrayImage smooth;
+    BlurScratch blur;
+    Gradients grad;
+    std::vector<Edge> edges;
+    std::vector<Peak> peaks;
+    std::vector<float> acc;
+    std::vector<float> acc_vsum;  ///< vertical pass of the vote smoothing
+    std::vector<float> smooth_acc;
+    std::vector<int> radius_hist;
+    /// Uniform spatial grid over the edge list (CSR layout) so radius
+    /// estimation scans only edges near a peak instead of all of them.
+    std::vector<std::int32_t> bucket_start;
+    std::vector<std::int32_t> bucket_fill;
+    std::vector<std::int32_t> bucket_items;
+};
+
+/// hough_circles with a persistent workspace (no allocation once warm,
+/// aside from the returned vector); bitwise identical results. A ROI
+/// that already spans the whole input skips the crop copy entirely.
+[[nodiscard]] std::vector<CircleDetection> hough_circles(const GrayImage& gray,
+                                                         const HoughParams& params,
+                                                         HoughScratch& scratch);
 
 }  // namespace sdl::imaging

@@ -21,11 +21,25 @@ GrayImage::GrayImage(int width, int height, float fill) : width_(width), height_
     data_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), fill);
 }
 
+void GrayImage::reset(int width, int height) {
+    support::check(width >= 0 && height >= 0, "negative image dimensions");
+    width_ = width;
+    height_ = height;
+    data_.resize(static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
+}
+
 BinaryImage::BinaryImage(int width, int height, bool fill)
     : width_(width), height_(height) {
     support::check(width >= 0 && height >= 0, "negative image dimensions");
     data_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
                  fill ? 1 : 0);
+}
+
+void BinaryImage::reset(int width, int height) {
+    support::check(width >= 0 && height >= 0, "negative image dimensions");
+    width_ = width;
+    height_ = height;
+    data_.resize(static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
 }
 
 std::size_t BinaryImage::count() const noexcept {
@@ -35,15 +49,32 @@ std::size_t BinaryImage::count() const noexcept {
 }
 
 GrayImage to_gray(const Image& rgb) {
-    GrayImage out(rgb.width(), rgb.height());
-    for (int y = 0; y < rgb.height(); ++y) {
-        for (int x = 0; x < rgb.width(); ++x) {
-            const color::Rgb8 c = rgb.pixel(x, y);
-            out.at(x, y) =
-                static_cast<float>((0.299 * c.r + 0.587 * c.g + 0.114 * c.b) / 255.0);
+    GrayImage out;
+    to_gray(rgb, out);
+    return out;
+}
+
+void to_gray(const Image& rgb, GrayImage& out) {
+    to_gray_roi(rgb, {0, 0, rgb.width(), rgb.height()}, out);
+}
+
+void to_gray_roi(const Image& rgb, Rect roi, GrayImage& out) {
+    const Rect r = roi.clipped(rgb.width(), rgb.height());
+    out.reset(r.width(), r.height());
+    const std::span<const std::uint8_t> bytes = rgb.bytes();
+    for (int y = 0; y < r.height(); ++y) {
+        const std::uint8_t* src =
+            bytes.data() + 3 * (static_cast<std::size_t>(y + r.y0) *
+                                    static_cast<std::size_t>(rgb.width()) +
+                                static_cast<std::size_t>(r.x0));
+        float* dst = out.values().data() +
+                     static_cast<std::size_t>(y) * static_cast<std::size_t>(r.width());
+        for (int x = 0; x < r.width(); ++x) {
+            dst[x] = static_cast<float>(
+                (0.299 * src[0] + 0.587 * src[1] + 0.114 * src[2]) / 255.0);
+            src += 3;
         }
     }
-    return out;
 }
 
 float sample_bilinear(const GrayImage& img, double x, double y) noexcept {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "color/rgb.hpp"
+#include "imaging/geometry.hpp"
 
 namespace sdl::imaging {
 
@@ -53,6 +54,11 @@ public:
     GrayImage() = default;
     GrayImage(int width, int height, float fill = 0.0F);
 
+    /// Resizes without initializing contents (kept allocation is reused
+    /// when capacity suffices) — for scratch planes that are fully
+    /// overwritten each frame.
+    void reset(int width, int height);
+
     [[nodiscard]] int width() const noexcept { return width_; }
     [[nodiscard]] int height() const noexcept { return height_; }
     [[nodiscard]] bool in_bounds(int x, int y) const noexcept {
@@ -83,6 +89,9 @@ public:
     BinaryImage() = default;
     BinaryImage(int width, int height, bool fill = false);
 
+    /// Resizes without initializing contents (see GrayImage::reset).
+    void reset(int width, int height);
+
     [[nodiscard]] int width() const noexcept { return width_; }
     [[nodiscard]] int height() const noexcept { return height_; }
 
@@ -105,6 +114,16 @@ private:
 
 /// Rec. 601 luma of the sRGB-encoded bytes, scaled to [0, 1].
 [[nodiscard]] GrayImage to_gray(const Image& rgb);
+
+/// to_gray into a reusable plane (no allocation once warm).
+void to_gray(const Image& rgb, GrayImage& out);
+
+/// Converts only `roi` (clipped to the frame) into `out`, whose size
+/// becomes roi.width x roi.height; out(x, y) holds the luma of frame
+/// pixel (roi.x0 + x, roi.y0 + y) — bitwise the same values a full
+/// conversion would produce there. The ROI read path converts just the
+/// marker and plate neighborhoods instead of the whole frame.
+void to_gray_roi(const Image& rgb, Rect roi, GrayImage& out);
 
 /// Bilinear sample of a gray image at a subpixel position (clamped).
 [[nodiscard]] float sample_bilinear(const GrayImage& img, double x, double y) noexcept;

@@ -3,26 +3,101 @@
 #include <cmath>
 
 #include "imaging/draw.hpp"
+#include "linalg/fastmath.hpp"
 #include "support/common.hpp"
 
 namespace sdl::imaging {
 
 namespace {
 
-/// Per-pixel illumination factor: linear gradient plus radial vignette.
-double illumination(const PlateScene& scene, int x, int y) noexcept {
-    const double nx = static_cast<double>(x) / scene.width - 0.5;
-    const double ny = static_cast<double>(y) / scene.height - 0.5;
-    const double gradient = 1.0 + scene.illum_gradient.x * nx + scene.illum_gradient.y * ny;
-    const double r2 = (nx * nx + ny * ny) / 0.5;  // 1.0 at frame corners
-    const double vignette = 1.0 - scene.vignette * r2;
-    return gradient * vignette;
-}
-
 std::uint8_t shade(std::uint8_t value, double factor, double noise) noexcept {
     const double v = value * factor + noise;
-    const long q = std::lround(v);
+    // Three roundings per pixel: the libm lround call cost used to
+    // dominate the whole sensor pass. See fastmath.hpp for
+    // round_half_away's (documented, tolerated) boundary behavior.
+    const long q = linalg::round_half_away(v);
     return static_cast<std::uint8_t>(q < 0 ? 0 : (q > 255 ? 255 : q));
+}
+
+void validate_inputs(const PlateScene& scene, std::span<const color::Rgb8> well_colors,
+                     const std::vector<bool>* filled) {
+    const SceneGeometry& g = scene.geometry;
+    support::check(well_colors.size() == static_cast<std::size_t>(g.well_count()),
+                   "well color count must equal rows*cols");
+    support::check(filled == nullptr ||
+                       filled->size() == static_cast<std::size_t>(g.well_count()),
+                   "fill mask size must equal rows*cols");
+}
+
+/// The scene-only raster: deck background plus plate body. Everything
+/// here is deterministic in the scene, which is what makes it cacheable
+/// across frames.
+Image render_base(const PlateScene& scene, const std::vector<Vec2>& centers) {
+    const SceneGeometry& g = scene.geometry;
+    Image img(scene.width, scene.height, scene.background);
+    const double pitch = g.spacing * scene.marker_side_px;
+
+    // Plate body: a quadrilateral covering the well block plus a margin.
+    const Vec2 ux = Vec2{1, 0}.rotated(scene.angle_rad);
+    const Vec2 uy = Vec2{0, 1}.rotated(scene.angle_rad);
+    const double margin = pitch * 0.9;
+    const Vec2 tl = centers[0] - ux * margin - uy * margin;
+    const Vec2 br = centers[static_cast<std::size_t>(g.well_count() - 1)] + ux * margin +
+                    uy * margin;
+    const Vec2 tr = tl + ux * ((br - tl).dot(ux));
+    const Vec2 bl = tl + uy * ((br - tl).dot(uy));
+    const Vec2 corners[4] = {tl, tr, br, bl};
+    fill_quad(img, corners, scene.plate_body);
+    return img;
+}
+
+/// Wells: rim ring plus interior (sample color or empty plastic).
+void draw_wells(Image& img, const PlateScene& scene, const std::vector<Vec2>& centers,
+                std::span<const color::Rgb8> well_colors, const std::vector<bool>* filled) {
+    const SceneGeometry& g = scene.geometry;
+    const double radius = g.well_radius * scene.marker_side_px;
+    for (int i = 0; i < g.well_count(); ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const bool has_sample = filled == nullptr || (*filled)[idx];
+        const Vec2 c = centers[idx];
+        fill_ring(img, c, radius, radius * (1.0 - scene.wall_thickness),
+                  has_sample ? scene.well_wall : scene.empty_rim);
+        const color::Rgb8 interior = has_sample ? well_colors[idx] : scene.empty_well;
+        fill_circle(img, c, radius * (1.0 - scene.wall_thickness), interior);
+    }
+}
+
+/// Sensor model: illumination shading and Gaussian noise. The per-column
+/// gradient/vignette terms are precomputed once per frame; per pixel the
+/// factor combines them with the exact expression the scalar
+/// illumination() helper used, so the shading bits are unchanged.
+void apply_sensor_model(Image& img, const PlateScene& scene, support::Rng& rng,
+                        std::vector<double>& nx, std::vector<double>& nx2) {
+    const auto width = static_cast<std::size_t>(scene.width);
+    nx.resize(width);
+    nx2.resize(width);
+    for (std::size_t x = 0; x < width; ++x) {
+        nx[x] = static_cast<double>(x) / scene.width - 0.5;
+        nx2[x] = nx[x] * nx[x];
+    }
+    const double gx = scene.illum_gradient.x;
+    const double gy = scene.illum_gradient.y;
+    std::uint8_t* bytes = img.bytes().data();
+    for (int y = 0; y < scene.height; ++y) {
+        const double ny = static_cast<double>(y) / scene.height - 0.5;
+        const double gy_ny = gy * ny;
+        const double ny2 = ny * ny;
+        std::uint8_t* row = bytes + 3 * static_cast<std::size_t>(y) * width;
+        for (std::size_t x = 0; x < width; ++x) {
+            const double gradient = 1.0 + gx * nx[x] + gy_ny;
+            const double r2 = (nx2[x] + ny2) / 0.5;  // 1.0 at frame corners
+            const double factor = gradient * (1.0 - scene.vignette * r2);
+            std::uint8_t* px = row + 3 * x;
+            px[0] = shade(px[0], factor, rng.normal(0.0, scene.noise_sigma));
+            px[1] = shade(px[1], factor, rng.normal(0.0, scene.noise_sigma));
+            px[2] = shade(px[2], factor, rng.normal(0.0, scene.noise_sigma));
+        }
+    }
 }
 
 }  // namespace
@@ -44,60 +119,42 @@ std::vector<Vec2> true_well_centers(const PlateScene& scene) {
     return centers;
 }
 
+bool same_scene(const PlateScene& a, const PlateScene& b) noexcept {
+    return a == b;  // defaulted memberwise equality — cannot drift
+}
+
 Image render_plate(const PlateScene& scene, std::span<const color::Rgb8> well_colors,
                    support::Rng& rng, const std::vector<bool>* filled) {
-    const SceneGeometry& g = scene.geometry;
-    support::check(well_colors.size() == static_cast<std::size_t>(g.well_count()),
-                   "well color count must equal rows*cols");
-    support::check(filled == nullptr ||
-                       filled->size() == static_cast<std::size_t>(g.well_count()),
-                   "fill mask size must equal rows*cols");
-
-    Image img(scene.width, scene.height, scene.background);
-    const double s = scene.marker_side_px;
-    const double radius = g.well_radius * s;
-    const double pitch = g.spacing * s;
+    validate_inputs(scene, well_colors, filled);
     const std::vector<Vec2> centers = true_well_centers(scene);
-
-    // Plate body: a quadrilateral covering the well block plus a margin.
-    {
-        const Vec2 ux = Vec2{1, 0}.rotated(scene.angle_rad);
-        const Vec2 uy = Vec2{0, 1}.rotated(scene.angle_rad);
-        const double margin = pitch * 0.9;
-        const Vec2 tl = centers[0] - ux * margin - uy * margin;
-        const Vec2 br = centers[static_cast<std::size_t>(g.well_count() - 1)] + ux * margin +
-                        uy * margin;
-        const Vec2 tr = tl + ux * ((br - tl).dot(ux));
-        const Vec2 bl = tl + uy * ((br - tl).dot(uy));
-        const Vec2 corners[4] = {tl, tr, br, bl};
-        fill_quad(img, corners, scene.plate_body);
-    }
-
-    // Wells: rim ring plus interior (sample color or empty plastic).
-    for (int i = 0; i < g.well_count(); ++i) {
-        const auto idx = static_cast<std::size_t>(i);
-        const bool has_sample = filled == nullptr || (*filled)[idx];
-        const Vec2 c = centers[idx];
-        fill_ring(img, c, radius, radius * (1.0 - scene.wall_thickness),
-                  has_sample ? scene.well_wall : scene.empty_rim);
-        const color::Rgb8 interior = has_sample ? well_colors[idx] : scene.empty_well;
-        fill_circle(img, c, radius * (1.0 - scene.wall_thickness), interior);
-    }
-
-    // Fiducial marker on its white card.
+    Image img = render_base(scene, centers);
+    draw_wells(img, scene, centers, well_colors, filled);
     render_marker(img, MarkerDictionary::standard(), scene.marker_id, scene.marker_center,
                   scene.marker_side_px, scene.angle_rad);
+    std::vector<double> nx;
+    std::vector<double> nx2;
+    apply_sensor_model(img, scene, rng, nx, nx2);
+    return img;
+}
 
-    // Sensor model: illumination shading and Gaussian noise.
-    for (int y = 0; y < scene.height; ++y) {
-        for (int x = 0; x < scene.width; ++x) {
-            const double factor = illumination(scene, x, y);
-            const color::Rgb8 p = img.pixel(x, y);
-            img.set_pixel(x, y, {shade(p.r, factor, rng.normal(0.0, scene.noise_sigma)),
-                                 shade(p.g, factor, rng.normal(0.0, scene.noise_sigma)),
-                                 shade(p.b, factor, rng.normal(0.0, scene.noise_sigma))});
-        }
+Image PlateRenderer::render(const PlateScene& scene,
+                            std::span<const color::Rgb8> well_colors, support::Rng& rng,
+                            const std::vector<bool>* filled) {
+    validate_inputs(scene, well_colors, filled);
+    if (!base_valid_ || !same_scene(scene, base_scene_)) {
+        centers_ = true_well_centers(scene);
+        base_ = render_base(scene, centers_);
+        base_scene_ = scene;
+        base_valid_ = true;
+        ++base_rebuilds_;
+    } else {
+        ++base_hits_;
     }
+    Image img = base_;
+    draw_wells(img, scene, centers_, well_colors, filled);
+    render_marker(img, MarkerDictionary::standard(), scene.marker_id, scene.marker_center,
+                  scene.marker_side_px, scene.angle_rad);
+    apply_sensor_model(img, scene, rng, illum_nx_, illum_nx2_);
     return img;
 }
 

@@ -33,6 +33,8 @@ struct SceneGeometry {
     Vec2 plate_offset{1.45, -2.17};
 
     [[nodiscard]] int well_count() const noexcept { return rows * cols; }
+
+    friend bool operator==(const SceneGeometry&, const SceneGeometry&) = default;
 };
 
 struct PlateScene {
@@ -60,6 +62,11 @@ struct PlateScene {
     double noise_sigma = 2.0;      ///< Gaussian sensor noise, 8-bit units
     double vignette = 0.10;        ///< corner darkening strength
     Vec2 illum_gradient{0.04, -0.03};  ///< linear shading across the frame
+
+    /// Memberwise exact equality — the PlateRenderer base-raster cache
+    /// key. Defaulted so a new field can never silently fall out of the
+    /// comparison and leave the cache serving stale rasters.
+    friend bool operator==(const PlateScene&, const PlateScene&) = default;
 };
 
 /// Renders the scene. `well_colors` has rows*cols entries in row-major
@@ -72,5 +79,40 @@ struct PlateScene {
 
 /// Ground-truth well-center positions for a scene (for tests/metrics).
 [[nodiscard]] std::vector<Vec2> true_well_centers(const PlateScene& scene);
+
+/// Field-by-field scene equality (geometry, colors, nuisances) — the
+/// base-raster cache key.
+[[nodiscard]] bool same_scene(const PlateScene& a, const PlateScene& b) noexcept;
+
+/// Session renderer for a fixed camera. The rasterization up to (and
+/// excluding) the wells — deck background plus plate body — depends only
+/// on the scene, not on well contents, so consecutive frames of an
+/// unchanged scene start from a cached copy of that base raster instead
+/// of re-rasterizing it. Wells, marker, illumination, and sensor noise
+/// are applied per frame in the exact order render_plate uses, so every
+/// frame is bitwise identical to a from-scratch render with the same rng
+/// stream. Owns the per-column illumination precompute as well. One per
+/// camera; never shared across threads.
+class PlateRenderer {
+public:
+    [[nodiscard]] Image render(const PlateScene& scene,
+                               std::span<const color::Rgb8> well_colors,
+                               support::Rng& rng,
+                               const std::vector<bool>* filled = nullptr);
+
+    /// Frames that reused the cached base raster.
+    [[nodiscard]] std::size_t base_hits() const noexcept { return base_hits_; }
+    [[nodiscard]] std::size_t base_rebuilds() const noexcept { return base_rebuilds_; }
+
+private:
+    bool base_valid_ = false;
+    PlateScene base_scene_;
+    Image base_;
+    std::vector<Vec2> centers_;
+    std::vector<double> illum_nx_;   ///< per-column gradient coordinate
+    std::vector<double> illum_nx2_;  ///< per-column vignette term
+    std::size_t base_hits_ = 0;
+    std::size_t base_rebuilds_ = 0;
+};
 
 }  // namespace sdl::imaging

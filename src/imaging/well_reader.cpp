@@ -7,30 +7,34 @@
 
 namespace sdl::imaging {
 
-WellReadout read_plate(const Image& frame, const WellReadParams& params) {
-    WellReadout out;
-    const SceneGeometry& g = params.geometry;
+namespace {
 
-    // 1. Fiducial marker.
-    const auto markers = detect_markers(frame, MarkerDictionary::standard(), params.marker);
+/// read_plate's marker choice: the largest detection with the requested
+/// id (or the largest of any id when marker_id < 0).
+const MarkerDetection* select_marker(const std::vector<MarkerDetection>& markers,
+                                     int marker_id) {
     const MarkerDetection* marker = nullptr;
     for (const auto& m : markers) {
-        if (params.marker_id < 0 || m.id == static_cast<std::size_t>(params.marker_id)) {
+        if (marker_id < 0 || m.id == static_cast<std::size_t>(marker_id)) {
             if (marker == nullptr || m.side > marker->side) marker = &m;
         }
     }
-    if (marker == nullptr) {
-        out.error = "fiducial marker not found";
-        return out;
-    }
-    out.marker = *marker;
+    return marker;
+}
+
+/// Steps 2-5 of the pipeline, given the detected marker.
+WellReadout read_with_marker(const Image& frame, const WellReadParams& params,
+                             const MarkerDetection& marker, FrameScratch& scratch) {
+    WellReadout out;
+    const SceneGeometry& g = params.geometry;
+    out.marker = marker;
 
     // 2. Approximate plate region from marker pose.
-    const double s = marker->side;
-    const Vec2 ux = Vec2{1, 0}.rotated(marker->angle);
-    const Vec2 uy = Vec2{0, 1}.rotated(marker->angle);
+    const double s = marker.side;
+    const Vec2 ux = Vec2{1, 0}.rotated(marker.angle);
+    const Vec2 uy = Vec2{0, 1}.rotated(marker.angle);
     GridModel initial;
-    initial.origin = marker->center + ux * (g.plate_offset.x * s) + uy * (g.plate_offset.y * s);
+    initial.origin = marker.center + ux * (g.plate_offset.x * s) + uy * (g.plate_offset.y * s);
     initial.row_axis = uy * (g.spacing * s);
     initial.col_axis = ux * (g.spacing * s);
 
@@ -52,24 +56,30 @@ WellReadout read_plate(const Image& frame, const WellReadParams& params) {
                           static_cast<int>(std::ceil(max_y + margin))}
                          .clipped(frame.width(), frame.height());
 
-    // 3. Hough circles inside the plate region.
+    // 3. Hough circles inside the plate region. Only that region is
+    // converted to luma; the transform then sees its whole (pre-cropped)
+    // input, and the integer ROI offset is added back to the detected
+    // centers — exact, since Hough centers are integer-valued.
     const double expected_r = g.well_radius * s;
     HoughParams hough;
-    hough.roi = roi;
+    hough.roi = {0, 0, roi.width(), roi.height()};
     hough.r_min = std::max(2.0, expected_r * (1.0 - params.radius_tolerance));
     hough.r_max = expected_r * (1.0 + params.radius_tolerance);
     hough.min_center_dist = 0.6 * pitch;
     hough.max_circles = static_cast<std::size_t>(g.well_count()) * 2;
-    const GrayImage gray = to_gray(frame);
-    const auto circles = hough_circles(gray, hough);
+    to_gray_roi(frame, roi, scratch.gray_roi);
+    const auto circles = hough_circles(scratch.gray_roi, hough, scratch.hough);
     out.hough_circles_found = circles.size();
 
     // 4. Grid alignment: refine the marker-derived lattice with the
     // detected circle centers; false positives are rejected by the inlier
     // gate, false negatives are filled in by the fitted model.
-    std::vector<Vec2> centers_detected;
+    std::vector<Vec2>& centers_detected = scratch.circle_centers;
+    centers_detected.clear();
     centers_detected.reserve(circles.size());
-    for (const auto& c : circles) centers_detected.push_back(c.center);
+    for (const auto& c : circles) {
+        centers_detected.push_back({c.center.x + roi.x0, c.center.y + roi.y0});
+    }
 
     const GridFit fit = fit_grid(centers_detected, initial, g.rows, g.cols,
                                  params.inlier_radius * pitch);
@@ -107,6 +117,76 @@ WellReadout read_plate(const Image& frame, const WellReadParams& params) {
         }
     }
     out.ok = true;
+    return out;
+}
+
+}  // namespace
+
+WellReadout read_plate(const Image& frame, const WellReadParams& params) {
+    FrameScratch scratch;
+    return read_plate(frame, params, scratch);
+}
+
+WellReadout read_plate(const Image& frame, const WellReadParams& params,
+                       FrameScratch& scratch) {
+    // 1. Fiducial marker, full-frame scan.
+    detect_markers(frame, MarkerDictionary::standard(), params.marker, scratch.marker,
+                   scratch.detections);
+    const MarkerDetection* marker = select_marker(scratch.detections, params.marker_id);
+    if (marker == nullptr) {
+        WellReadout out;
+        out.error = "fiducial marker not found";
+        return out;
+    }
+    return read_with_marker(frame, params, *marker, scratch);
+}
+
+WellReadout PlateReader::read(const Image& frame) {
+    if (hint_.has_value()) {
+        // Scan only a padded neighborhood of the last marker pose. The
+        // padding keeps the (static) marker blob clear of the region's
+        // contamination band, so a hit is bitwise identical to the
+        // full-frame detection; anything suspicious falls through.
+        const Quad& q = hint_->corners;
+        double min_x = q[0].x, max_x = q[0].x, min_y = q[0].y, max_y = q[0].y;
+        for (const Vec2& corner : q) {
+            min_x = std::min(min_x, corner.x);
+            max_x = std::max(max_x, corner.x);
+            min_y = std::min(min_y, corner.y);
+            max_y = std::max(max_y, corner.y);
+        }
+        const int pad = marker_region_margin(params_.marker) +
+                        static_cast<int>(std::ceil(0.5 * hint_->side)) + 4;
+        const Rect region{static_cast<int>(std::floor(min_x)) - pad,
+                          static_cast<int>(std::floor(min_y)) - pad,
+                          static_cast<int>(std::ceil(max_x)) + pad,
+                          static_cast<int>(std::ceil(max_y)) + pad};
+        // Detections from the region are exact (contaminated blobs are
+        // skipped, not decoded differently); a tracked marker that moved
+        // into the contaminated band simply goes undetected here and the
+        // full-frame fallback below takes over. This is where the
+        // single-tracked-marker assumption bites: a second, larger
+        // matching marker outside the region would win a full scan.
+        (void)detect_markers_in_region(frame, MarkerDictionary::standard(),
+                                       params_.marker, region, scratch_.marker,
+                                       scratch_.detections);
+        const MarkerDetection* marker =
+            select_marker(scratch_.detections, params_.marker_id);
+        if (marker != nullptr) {
+            ++roi_hits_;
+            WellReadout out = read_with_marker(frame, params_, *marker, scratch_);
+            out.roi_fast_path = true;
+            hint_ = out.marker;
+            return out;
+        }
+    }
+    ++full_scans_;
+    WellReadout out = read_plate(frame, params_, scratch_);
+    if (out.ok) {
+        hint_ = out.marker;
+    } else {
+        hint_.reset();
+    }
     return out;
 }
 

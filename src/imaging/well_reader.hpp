@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "imaging/fiducial.hpp"
@@ -41,9 +42,59 @@ struct WellReadout {
     std::size_t wells_with_circle = 0;    ///< lattice nodes with support
     std::size_t wells_rescued = 0;        ///< nodes predicted by grid only
     double grid_residual_px = 0.0;        ///< mean inlier residual
+    /// True when PlateReader served this frame from the marker-ROI fast
+    /// path (observability only; the payload is bitwise identical either
+    /// way).
+    bool roi_fast_path = false;
+};
+
+/// Reusable buffer pool for the whole §2.4 pipeline: marker-detection
+/// planes, Hough workspace, and the plate-region luma plane persist
+/// across frames, so a steady-state read allocates only its returned
+/// WellReadout. Owned by whoever loops over frames (one per session —
+/// CameraSim-facing readers, benchmarks); never shared across threads.
+struct FrameScratch {
+    MarkerScratch marker;
+    HoughScratch hough;
+    GrayImage gray_roi;  ///< plate-region luma (frame ROI, local coords)
+    std::vector<MarkerDetection> detections;
+    std::vector<Vec2> circle_centers;
 };
 
 /// Runs the full pipeline on one camera frame.
 [[nodiscard]] WellReadout read_plate(const Image& frame, const WellReadParams& params);
+
+/// read_plate with a persistent buffer pool — bitwise-identical results,
+/// no steady-state allocations beyond the readout, and the luma plane is
+/// converted only over the plate region the Hough stage actually reads.
+[[nodiscard]] WellReadout read_plate(const Image& frame, const WellReadParams& params,
+                                     FrameScratch& scratch);
+
+/// Session reader for a fixed camera: between frames the fiducial stays
+/// put, so after one successful full-frame read the detector only scans
+/// a small neighborhood of the last marker pose (detect_markers_in_region)
+/// and the luma conversion covers just the marker and plate ROIs. Any
+/// doubt — contaminated region, marker missing or moved — falls back to
+/// the full-frame pipeline, so every frame's readout is bitwise
+/// identical to read_plate on the same frame (single tracked marker; a
+/// scene with several markers of the same id needs full scans).
+class PlateReader {
+public:
+    explicit PlateReader(WellReadParams params) : params_(std::move(params)) {}
+
+    [[nodiscard]] WellReadout read(const Image& frame);
+
+    [[nodiscard]] const WellReadParams& params() const noexcept { return params_; }
+    /// Frames served by the marker-ROI fast path / by full-frame scans.
+    [[nodiscard]] std::size_t roi_hits() const noexcept { return roi_hits_; }
+    [[nodiscard]] std::size_t full_scans() const noexcept { return full_scans_; }
+
+private:
+    WellReadParams params_;
+    FrameScratch scratch_;
+    std::optional<MarkerDetection> hint_;
+    std::size_t roi_hits_ = 0;
+    std::size_t full_scans_ = 0;
+};
 
 }  // namespace sdl::imaging

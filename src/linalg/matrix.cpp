@@ -20,6 +20,28 @@ void axpy(double alpha, std::span<const double> x, std::span<double> y) {
     for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
+Matrix cross_sq_dist(const Matrix& a, const Matrix& b) {
+    support::check(a.cols() == b.cols(), "cross_sq_dist: dimension mismatch");
+    const std::size_t n = a.rows();
+    const std::size_t m = b.rows();
+    const std::size_t d = a.cols();
+    Matrix out(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::span<const double> ai = a.row(i);
+        const std::span<double> orow = out.row(i);
+        for (std::size_t j = 0; j < m; ++j) {
+            const std::span<const double> bj = b.row(j);
+            double d2 = 0.0;
+            for (std::size_t k = 0; k < d; ++k) {
+                const double diff = ai[k] - bj[k];
+                d2 += diff * diff;
+            }
+            orow[j] = d2;
+        }
+    }
+    return out;
+}
+
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 

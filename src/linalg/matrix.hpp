@@ -18,6 +18,17 @@ using Vec = std::vector<double>;
 /// y += alpha * x
 void axpy(double alpha, std::span<const double> x, std::span<double> y);
 
+class Matrix;
+
+/// Pairwise squared Euclidean distances between the rows of `a` (n x d)
+/// and the rows of `b` (m x d), returned as an n x m matrix. Each entry
+/// accumulates coordinate differences in ascending-dimension order — the
+/// same order as a scalar `|a_i - b_j|^2` loop — so downstream consumers
+/// (the GP kernel) stay bitwise identical to their one-pair-at-a-time
+/// equivalents. The row-major result keeps the inner (j) loop contiguous
+/// in both `b` and the output.
+[[nodiscard]] Matrix cross_sq_dist(const Matrix& a, const Matrix& b);
+
 class Matrix {
 public:
     Matrix() = default;

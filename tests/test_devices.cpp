@@ -2,6 +2,7 @@
 // workflows executed end-to-end against the DES and threaded transports.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "color/rgb.hpp"
@@ -386,6 +387,41 @@ TEST(Camera, GlitchedFrameHasNoDetectableMarker) {
     const auto& frame = camera.frame(result.data.at("frame_id").as_int());
     EXPECT_TRUE(imaging::detect_markers(frame, imaging::MarkerDictionary::standard())
                     .empty());
+}
+
+TEST(Camera, BaseRasterCacheFramesByteIdentical) {
+    // The PlateRenderer base cache is a pure perf optimization: with the
+    // same noise seed, a caching camera and a non-caching camera must
+    // archive byte-identical frames across a sequence of captures with
+    // changing well contents and interleaved glitches.
+    TestWorkcell cell;
+    CameraConfig cached_config;
+    cached_config.glitch_prob = 0.25;
+    cached_config.max_frames = 64;
+    CameraConfig plain_config = cached_config;
+    plain_config.cache_base_raster = false;
+    CameraSim cached(cached_config, cell.plates, cell.locations);
+    CameraSim plain(plain_config, cell.plates, cell.locations);
+
+    const PlateId id = cell.plates.create(8, 12);
+    cell.locations.place(locations::kCamera, id);
+    Plate& plate = cell.plates.get(id);
+    for (int i = 0; i < 12; ++i) {
+        WellContent content;
+        content.true_color = {static_cast<std::uint8_t>(20 * i), 120, 90};
+        plate.fill(i * 7, content);
+        const auto a = cached.execute(request_of("camera", "take_picture"));
+        const auto b = plain.execute(request_of("camera", "take_picture"));
+        ASSERT_TRUE(a.ok());
+        ASSERT_TRUE(b.ok());
+        EXPECT_EQ(a.data.at("glitched").as_bool(), b.data.at("glitched").as_bool());
+        const imaging::Image& fa = cached.frame(a.data.at("frame_id").as_int());
+        const imaging::Image& fb = plain.frame(b.data.at("frame_id").as_int());
+        const auto ba = fa.bytes();
+        const auto bb = fb.bytes();
+        ASSERT_EQ(ba.size(), bb.size());
+        EXPECT_TRUE(std::equal(ba.begin(), ba.end(), bb.begin())) << "capture " << i;
+    }
 }
 
 TEST(Camera, IsNotARoboticModule) {

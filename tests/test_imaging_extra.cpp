@@ -11,6 +11,7 @@
 #include "imaging/gridfit.hpp"
 #include "imaging/hough.hpp"
 #include "imaging/plate_render.hpp"
+#include "imaging/ppm.hpp"
 #include "imaging/well_reader.hpp"
 #include "support/common.hpp"
 #include "support/random.hpp"
@@ -288,4 +289,234 @@ TEST(WellReaderExtra, AcceptsSpecificMarkerId) {
     const WellReadout readout = read_plate(frame, params);
     EXPECT_TRUE(readout.ok);
     EXPECT_EQ(readout.marker.id, scene.marker_id);
+}
+
+// ------------------------------------------------- hot-path identity
+//
+// The zero-allocation vision pipeline (scratch pools, region-restricted
+// marker detection, base-raster render cache) carries one contract:
+// every output is bitwise identical to the one-shot allocating flow.
+
+namespace {
+
+/// A varied frame sequence: rotating fills and colors per frame index.
+Image hot_path_frame(const PlateScene& scene, int frame_index, Rng& rng) {
+    Rng color_rng(1000 + static_cast<std::uint64_t>(frame_index) * 17);
+    std::vector<Rgb8> colors;
+    std::vector<bool> filled;
+    for (int i = 0; i < scene.geometry.well_count(); ++i) {
+        colors.push_back({static_cast<std::uint8_t>(color_rng.uniform_int(256)),
+                          static_cast<std::uint8_t>(color_rng.uniform_int(256)),
+                          static_cast<std::uint8_t>(color_rng.uniform_int(256))});
+        filled.push_back(i <= (frame_index * 13) % scene.geometry.well_count());
+    }
+    return render_plate(scene, colors, rng, &filled);
+}
+
+void expect_same_readout(const WellReadout& a, const WellReadout& b,
+                         const char* what, int frame_index) {
+    ASSERT_EQ(a.ok, b.ok) << what << " frame " << frame_index;
+    EXPECT_EQ(a.error, b.error);
+    ASSERT_EQ(a.colors.size(), b.colors.size()) << what << " frame " << frame_index;
+    for (std::size_t i = 0; i < a.colors.size(); ++i) {
+        EXPECT_EQ(a.colors[i], b.colors[i]) << what << " frame " << frame_index
+                                            << " well " << i;
+        EXPECT_EQ(a.centers[i].x, b.centers[i].x) << what << " well " << i;
+        EXPECT_EQ(a.centers[i].y, b.centers[i].y) << what << " well " << i;
+    }
+    EXPECT_EQ(a.hough_circles_found, b.hough_circles_found) << what;
+    EXPECT_EQ(a.wells_with_circle, b.wells_with_circle) << what;
+    EXPECT_EQ(a.wells_rescued, b.wells_rescued) << what;
+    EXPECT_EQ(a.grid_residual_px, b.grid_residual_px) << what;
+    if (a.ok) {
+        EXPECT_EQ(a.marker.id, b.marker.id);
+        EXPECT_EQ(a.marker.side, b.marker.side);
+        EXPECT_EQ(a.marker.angle, b.marker.angle);
+        EXPECT_EQ(a.marker.center.x, b.marker.center.x);
+        EXPECT_EQ(a.marker.center.y, b.marker.center.y);
+        for (std::size_t c = 0; c < 4; ++c) {
+            EXPECT_EQ(a.marker.corners[c].x, b.marker.corners[c].x);
+            EXPECT_EQ(a.marker.corners[c].y, b.marker.corners[c].y);
+        }
+    }
+}
+
+}  // namespace
+
+TEST(HotPath, BlurScratchBitwiseMatchesOneShot) {
+    Rng rng(71);
+    BlurScratch scratch;
+    GrayImage out;
+    // Alternating sizes and sigmas stress buffer reuse across shapes.
+    const int sizes[][2] = {{64, 48}, {31, 77}, {64, 48}, {5, 5}, {200, 3}};
+    const double sigmas[] = {0.8, 1.0, 2.5, 0.8, 1.3};
+    for (int round = 0; round < 5; ++round) {
+        GrayImage img(sizes[round][0], sizes[round][1]);
+        for (float& v : img.values()) v = static_cast<float>(rng.uniform());
+        const GrayImage want = gaussian_blur(img, sigmas[round]);
+        gaussian_blur(img, sigmas[round], out, scratch);
+        ASSERT_EQ(out.width(), want.width());
+        ASSERT_EQ(out.height(), want.height());
+        for (int y = 0; y < want.height(); ++y) {
+            for (int x = 0; x < want.width(); ++x) {
+                ASSERT_EQ(out.at(x, y), want.at(x, y))
+                    << "round " << round << " (" << x << "," << y << ")";
+            }
+        }
+    }
+}
+
+TEST(HotPath, SobelAndAdaptiveThresholdScratchBitwise) {
+    Rng rng(73);
+    Gradients grad;
+    BinaryImage mask;
+    std::vector<double> integral;
+    for (const int size : {40, 17, 40, 9}) {
+        GrayImage img(size, size + 3);
+        for (float& v : img.values()) v = static_cast<float>(rng.uniform());
+        const Gradients want = sobel(img);
+        sobel(img, grad);
+        for (int y = 0; y < img.height(); ++y) {
+            for (int x = 0; x < img.width(); ++x) {
+                ASSERT_EQ(grad.gx.at(x, y), want.gx.at(x, y));
+                ASSERT_EQ(grad.gy.at(x, y), want.gy.at(x, y));
+            }
+        }
+        const BinaryImage want_mask = adaptive_threshold(img, 9, 0.05F);
+        adaptive_threshold(img, 9, 0.05F, mask, integral);
+        for (int y = 0; y < img.height(); ++y) {
+            for (int x = 0; x < img.width(); ++x) {
+                ASSERT_EQ(mask.at(x, y), want_mask.at(x, y));
+            }
+        }
+    }
+}
+
+TEST(HotPath, RenderCacheByteIdenticalAcross100Frames) {
+    // PlateRenderer (cached base raster, per-column illumination) vs
+    // one-shot render_plate with a twin rng stream: 100 frames of
+    // changing well contents must encode to identical PPM bytes.
+    PlateScene scene;
+    scene.angle_rad = 0.04;
+    Rng rng_cached(91);
+    Rng rng_fresh(91);
+    PlateRenderer renderer;
+    for (int frame_index = 0; frame_index < 100; ++frame_index) {
+        Rng color_rng(2000 + static_cast<std::uint64_t>(frame_index));
+        std::vector<Rgb8> colors;
+        std::vector<bool> filled;
+        for (int i = 0; i < scene.geometry.well_count(); ++i) {
+            colors.push_back({static_cast<std::uint8_t>(color_rng.uniform_int(256)),
+                              static_cast<std::uint8_t>(color_rng.uniform_int(256)),
+                              static_cast<std::uint8_t>(color_rng.uniform_int(256))});
+            filled.push_back((i + frame_index) % 3 != 0);
+        }
+        const Image cached = renderer.render(scene, colors, rng_cached, &filled);
+        const Image fresh = render_plate(scene, colors, rng_fresh, &filled);
+        ASSERT_EQ(encode_ppm(cached), encode_ppm(fresh)) << "frame " << frame_index;
+    }
+    EXPECT_EQ(renderer.base_rebuilds(), 1u);
+    EXPECT_EQ(renderer.base_hits(), 99u);
+}
+
+TEST(HotPath, RenderCacheRebuildsWhenSceneChanges) {
+    PlateScene scene;
+    std::vector<Rgb8> colors(96, Rgb8{90, 140, 60});
+    Rng rng_a(3), rng_b(3);
+    PlateRenderer renderer;
+    (void)renderer.render(scene, colors, rng_a);
+    PlateScene moved = scene;
+    moved.marker_center = {200.0, 260.0};
+    const Image cached = renderer.render(moved, colors, rng_a);
+    (void)render_plate(scene, colors, rng_b);
+    const Image fresh = render_plate(moved, colors, rng_b);
+    EXPECT_EQ(renderer.base_rebuilds(), 2u);
+    ASSERT_EQ(encode_ppm(cached), encode_ppm(fresh));
+}
+
+TEST(HotPath, ScratchReadPlateBitwiseAcrossFrames) {
+    PlateScene scene;
+    scene.noise_sigma = 3.0;
+    WellReadParams params;
+    params.geometry = scene.geometry;
+    FrameScratch scratch;
+    Rng rng(77);
+    for (int frame_index = 0; frame_index < 8; ++frame_index) {
+        const Image frame = hot_path_frame(scene, frame_index, rng);
+        const WellReadout fresh = read_plate(frame, params);
+        const WellReadout pooled = read_plate(frame, params, scratch);
+        expect_same_readout(pooled, fresh, "scratch", frame_index);
+    }
+}
+
+TEST(HotPath, PlateReaderRoiPathBitwiseAcrossFrameSequence) {
+    // The session reader must serve every frame — first (cold), steady
+    // state (ROI hits), a glitched frame (marker gone), and the recovery
+    // frame after it — with bits identical to one-shot read_plate.
+    PlateScene scene;
+    scene.angle_rad = -0.03;
+    scene.noise_sigma = 2.5;
+    WellReadParams params;
+    params.geometry = scene.geometry;
+    PlateReader reader(params);
+    Rng rng(79);
+    for (int frame_index = 0; frame_index < 12; ++frame_index) {
+        PlateScene frame_scene = scene;
+        const bool glitched = frame_index == 5;
+        if (glitched) frame_scene.marker_center = {-10000.0, -10000.0};
+        const Image frame = hot_path_frame(frame_scene, frame_index, rng);
+        const WellReadout fresh = read_plate(frame, params);
+        const WellReadout session = reader.read(frame);
+        expect_same_readout(session, fresh, "session", frame_index);
+        EXPECT_EQ(session.ok, !glitched) << frame_index;
+        if (frame_index > 0 && !glitched && frame_index != 6) {
+            EXPECT_TRUE(session.roi_fast_path) << frame_index;
+        }
+    }
+    // Cold start, glitch, and the post-glitch rescan are the only full
+    // scans; everything else rides the marker-ROI fast path.
+    EXPECT_EQ(reader.full_scans(), 3u);
+    EXPECT_EQ(reader.roi_hits(), 9u);
+}
+
+TEST(HotPath, RegionRestrictedDetectionMatchesFullFrame) {
+    PlateScene scene;
+    scene.noise_sigma = 2.0;
+    std::vector<Rgb8> colors(96, Rgb8{120, 60, 180});
+    Rng rng(83);
+    const Image frame = render_plate(scene, colors, rng);
+    const MarkerDetectParams params;
+
+    const auto full = detect_markers(frame, MarkerDictionary::standard(), params);
+    ASSERT_EQ(full.size(), 1u);
+
+    // Region comfortably around the marker: must reproduce the detection
+    // exactly, in frame coordinates.
+    const int cx = static_cast<int>(full[0].center.x);
+    const int cy = static_cast<int>(full[0].center.y);
+    const int reach = static_cast<int>(full[0].side) + marker_region_margin(params) + 10;
+    MarkerScratch scratch;
+    std::vector<MarkerDetection> regional;
+    (void)detect_markers_in_region(frame, MarkerDictionary::standard(), params,
+                                   {cx - reach, cy - reach, cx + reach, cy + reach},
+                                   scratch, regional);
+    ASSERT_EQ(regional.size(), 1u);
+    EXPECT_EQ(regional[0].id, full[0].id);
+    EXPECT_EQ(regional[0].side, full[0].side);
+    EXPECT_EQ(regional[0].angle, full[0].angle);
+    EXPECT_EQ(regional[0].center.x, full[0].center.x);
+    EXPECT_EQ(regional[0].center.y, full[0].center.y);
+    for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(regional[0].corners[c].x, full[0].corners[c].x);
+        EXPECT_EQ(regional[0].corners[c].y, full[0].corners[c].y);
+    }
+
+    // A region that slices through the marker must skip the contaminated
+    // blob (no subtly-different detection) and report the skip.
+    std::vector<MarkerDetection> sliced;
+    const bool sliced_clean = detect_markers_in_region(
+        frame, MarkerDictionary::standard(), params, {cx - reach, cy - reach, cx, cy},
+        scratch, sliced);
+    EXPECT_FALSE(sliced_clean);
+    EXPECT_TRUE(sliced.empty());
 }

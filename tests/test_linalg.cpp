@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "linalg/cholesky.hpp"
+#include "linalg/fastmath.hpp"
 #include "linalg/lstsq.hpp"
 #include "linalg/matrix.hpp"
 #include "support/common.hpp"
@@ -127,6 +128,125 @@ TEST(Cholesky, RejectsIndefiniteMatrix) {
     a(1, 0) = 2;
     a(1, 1) = 1;  // eigenvalues 3, -1
     EXPECT_THROW(Cholesky{a}, sdl::support::Error);
+}
+
+TEST(VecOps, CrossSqDistMatchesScalarLoop) {
+    Rng rng(53);
+    Matrix a(5, 4);
+    Matrix b(7, 4);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t k = 0; k < 4; ++k) a(i, k) = rng.uniform(-2, 2);
+    for (std::size_t j = 0; j < b.rows(); ++j)
+        for (std::size_t k = 0; k < 4; ++k) b(j, k) = rng.uniform(-2, 2);
+
+    const Matrix d2 = cross_sq_dist(a, b);
+    ASSERT_EQ(d2.rows(), 5u);
+    ASSERT_EQ(d2.cols(), 7u);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < b.rows(); ++j) {
+            double want = 0.0;
+            for (std::size_t k = 0; k < 4; ++k) {
+                const double diff = a(i, k) - b(j, k);
+                want += diff * diff;
+            }
+            // Bitwise: same accumulation order as the scalar loop.
+            EXPECT_EQ(d2(i, j), want) << i << "," << j;
+        }
+    }
+}
+
+TEST(FastMath, FastExpTracksStdExpAndClamps) {
+    Rng rng(67);
+    // Accuracy across the range the GP actually uses (exponents <= 0)
+    // plus the positive side: a few ulp of relative error.
+    for (int i = 0; i < 20000; ++i) {
+        const double x = rng.uniform(-700.0, 700.0);
+        const double want = std::exp(x);
+        const double got = fast_exp(x);
+        EXPECT_NEAR(got, want, std::abs(want) * 1e-14) << "x=" << x;
+    }
+    EXPECT_EQ(fast_exp(0.0), 1.0);
+    // Out-of-range inputs clamp to the boundary values (documented
+    // approximation, not IEEE exp): finite at both ends.
+    EXPECT_EQ(fast_exp(-1e9), fast_exp(-708.0));
+    EXPECT_EQ(fast_exp(1e9), fast_exp(709.0));
+    EXPECT_GT(fast_exp(-708.0), 0.0);
+    EXPECT_TRUE(std::isfinite(fast_exp(709.0)));
+}
+
+TEST(FastMath, VexpBitwiseMatchesScalarFastExp) {
+    // vexp's contract: the array form runs the exact operations of the
+    // scalar form per element, vectorized or not.
+    Rng rng(71);
+    std::vector<double> xs(1037);
+    for (double& x : xs) x = rng.uniform(-90.0, 1.0);
+    std::vector<double> out(xs.size());
+    vexp(xs, out);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_EQ(out[i], fast_exp(xs[i])) << "i=" << i;
+    }
+    // In place too.
+    std::vector<double> inplace = xs;
+    vexp(inplace, inplace);
+    EXPECT_EQ(inplace, out);
+}
+
+TEST(Cholesky, SolveLowerMultiBitwiseMatchesPerColumn) {
+    Rng rng(59);
+    for (const std::size_t n : {1u, 3u, 17u, 64u}) {
+        const Matrix a = random_spd(n, rng);
+        const Cholesky chol(a);
+        const std::size_t m = 33;
+        Matrix b(n, m);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < m; ++j) b(i, j) = rng.uniform(-3, 3);
+
+        Matrix y = b;
+        chol.solve_lower_multi(y);
+        for (std::size_t j = 0; j < m; ++j) {
+            Vec col(n);
+            for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+            const Vec want = chol.solve_lower(col);
+            for (std::size_t i = 0; i < n; ++i) {
+                EXPECT_EQ(y(i, j), want[i]) << "n=" << n << " col " << j << " row " << i;
+            }
+        }
+    }
+}
+
+TEST(Cholesky, SolveLowerMultiFusedReductionsMatchDots) {
+    Rng rng(61);
+    const std::size_t n = 24;
+    const std::size_t m = 19;
+    const Matrix a = random_spd(n, rng);
+    const Cholesky chol(a);
+    Matrix b(n, m);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < m; ++j) b(i, j) = rng.uniform(-3, 3);
+    Vec weights(n);
+    for (double& w : weights) w = rng.uniform(-1, 1);
+
+    Matrix y = b;
+    Vec wsum(m);
+    Vec sq(m);
+    chol.solve_lower_multi_fused(y, weights, wsum, sq);
+
+    for (std::size_t j = 0; j < m; ++j) {
+        Vec col(n);
+        for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+        const Vec solved = chol.solve_lower(col);
+        // Same bits as the scalar flow: dot(b_col, weights) and
+        // dot(y_col, y_col) in ascending-index order.
+        EXPECT_EQ(wsum[j], dot(col, weights)) << "col " << j;
+        EXPECT_EQ(sq[j], dot(solved, solved)) << "col " << j;
+        for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(y(i, j), solved[i]);
+    }
+
+    Matrix wrong_rows(n + 1, m);
+    EXPECT_THROW(chol.solve_lower_multi(wrong_rows), sdl::support::LogicError);
+    Vec short_sums(m - 1);
+    EXPECT_THROW(chol.solve_lower_multi_fused(y, weights, short_sums, sq),
+                 sdl::support::LogicError);
 }
 
 TEST(Cholesky, ExtendMatchesFullRefactorizationBitwise) {

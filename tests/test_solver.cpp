@@ -384,6 +384,104 @@ TEST(GaussianProcess, LmlFastPathMatchesManualComputation) {
     }
 }
 
+TEST(GaussianProcess, PredictBatchBitwiseMatchesSequentialPredict) {
+    // predict_batch is the solver's hot path; its whole contract is that
+    // blocking changes nothing — every entry must carry the exact bits
+    // sequential predict() produces, for fits of any size.
+    Rng rng(103);
+    for (const std::size_t n : {1u, 2u, 9u, 40u}) {
+        std::vector<std::vector<double>> xs;
+        std::vector<double> ys;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform(),
+                                  rng.uniform()};
+            ys.push_back(std::cos(2.0 * x[0]) + 0.5 * x[2] + 0.1 * rng.normal());
+            xs.push_back(std::move(x));
+        }
+        GaussianProcess gp;
+        gp.fit(xs, ys, /*optimize=*/n >= 9);
+
+        const std::size_t m = 57;
+        sdl::linalg::Matrix queries(m, 4);
+        for (std::size_t j = 0; j < m; ++j)
+            for (std::size_t k = 0; k < 4; ++k) queries(j, k) = rng.uniform();
+
+        const auto batch = gp.predict_batch(queries);
+        ASSERT_EQ(batch.size(), m);
+        for (std::size_t j = 0; j < m; ++j) {
+            const auto seq = gp.predict(queries.row(j));
+            EXPECT_EQ(batch[j].mean, seq.mean) << "n=" << n << " query " << j;
+            EXPECT_EQ(batch[j].variance, seq.variance) << "n=" << n << " query " << j;
+        }
+    }
+}
+
+TEST(GaussianProcess, PredictBatchBitwiseAfterObserveUpdates) {
+    // The batched path runs against the extended Cholesky factor too —
+    // constant-liar picks interleave observe() with batch scoring.
+    Rng rng(107);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 10; ++i) {
+        std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()};
+        ys.push_back(std::sin(4.0 * x[1]) - x[3]);
+        xs.push_back(std::move(x));
+    }
+    GaussianProcess gp;
+    gp.fit(xs, ys, /*optimize=*/true);
+    for (int round = 0; round < 3; ++round) {
+        gp.observe({rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()},
+                   rng.uniform(-1, 1));
+        sdl::linalg::Matrix queries(21, 4);
+        for (std::size_t j = 0; j < queries.rows(); ++j)
+            for (std::size_t k = 0; k < 4; ++k) queries(j, k) = rng.uniform();
+        const auto batch = gp.predict_batch(queries);
+        for (std::size_t j = 0; j < queries.rows(); ++j) {
+            const auto seq = gp.predict(queries.row(j));
+            EXPECT_EQ(batch[j].mean, seq.mean) << "round " << round << " query " << j;
+            EXPECT_EQ(batch[j].variance, seq.variance);
+        }
+    }
+}
+
+TEST(GaussianProcess, PredictBatchValidatesShapes) {
+    GaussianProcess gp;
+    sdl::linalg::Matrix queries(3, 4);
+    EXPECT_THROW(gp.predict_batch(queries), sdl::support::LogicError);
+    gp.fit({{0.1, 0.2, 0.3, 0.4}, {0.5, 0.6, 0.7, 0.8}}, {1.0, 2.0},
+           /*optimize=*/false);
+    EXPECT_TRUE(gp.predict_batch(sdl::linalg::Matrix(0, 4)).empty());
+    EXPECT_THROW(gp.predict_batch(sdl::linalg::Matrix(3, 2)),
+                 sdl::support::LogicError);
+}
+
+TEST(Bayes, SeedPairedRunsReproduceUnderBatching) {
+    // The pool is generated up front and scored in (possibly parallel)
+    // blocks; none of that may leak into the proposal stream — two
+    // solvers with equal seeds and equal tells must propose identical
+    // batches, including past warmup where the GP drives.
+    const auto run = [] {
+        BayesConfig config;
+        config.seed = 77;
+        config.candidates = 64;
+        config.warmup = 4;
+        BayesSolver solver(config);
+        NoisyObjective objective(123);
+        std::vector<std::vector<std::vector<double>>> asked;
+        for (int round = 0; round < 4; ++round) {
+            auto proposals = solver.ask(4);
+            asked.push_back(proposals);
+            std::vector<Observation> obs;
+            for (const auto& p : proposals) obs.push_back(objective.evaluate(p));
+            solver.tell(obs);
+        }
+        return asked;
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a, b);
+}
+
 TEST(GaussianProcess, FitValidatesShapes) {
     GaussianProcess gp;
     EXPECT_THROW(gp.fit({}, {}), sdl::support::LogicError);
