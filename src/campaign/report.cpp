@@ -78,6 +78,11 @@ json::Value experiment_result_to_json(const core::ColorPickerConfig& config,
     doc.set("batch_size", config.batch_size);
     doc.set("total_samples", config.total_samples);
     doc.set("seed", static_cast<std::int64_t>(config.seed));
+    // Strict (the reference) stays implicit so reference-run reports are
+    // byte-identical across releases; any other backend is recorded.
+    if (config.linalg_backend != "strict") {
+        doc.set("linalg_backend", config.linalg_backend);
+    }
     json::Value plate = json::Value::object();
     plate.set("rows", config.plate_rows);
     plate.set("cols", config.plate_cols);

@@ -1,0 +1,367 @@
+#include "linalg/backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/fastmath.hpp"
+#include "support/common.hpp"
+
+namespace sdl::linalg {
+
+namespace {
+
+// ---------------------------------------------------------------- strict
+//
+// The bitwise reference: every method delegates to the portable kernel
+// the repo has always run (free functions in matrix.cpp / fastmath.hpp /
+// cholesky.cpp's detail namespace), so "strict" cannot drift from the
+// historical output by construction.
+
+class StrictBackend final : public LinalgBackend {
+public:
+    [[nodiscard]] std::string_view name() const noexcept override { return "strict"; }
+
+    [[nodiscard]] Tolerance tolerance(Kernel /*kernel*/) const noexcept override {
+        return {0.0, 0.0};  // bitwise, for every kernel
+    }
+
+    [[nodiscard]] Matrix cross_sq_dist(const Matrix& a, const Matrix& b) const override {
+        return linalg::cross_sq_dist(a, b);
+    }
+
+    void vexp(std::span<const double> x, std::span<double> out) const noexcept override {
+        linalg::vexp(x, out);
+    }
+
+    void rbf_from_sq_dist(Matrix& d2, double signal_var,
+                          double lengthscale) const noexcept override {
+        // Exactly the operations rbf_kernel runs per element — the same
+        // -0.5*d2/(l*l) argument, the same fast_exp (via its array
+        // form), and the signal-variance scale — so each entry carries
+        // rbf_kernel's bits.
+        const std::size_t rows = d2.rows();
+        const std::size_t m = d2.cols();
+        for (std::size_t i = 0; i < rows; ++i) {
+            const std::span<double> row = d2.row(i);
+            for (std::size_t j = 0; j < m; ++j) {
+                row[j] = -0.5 * row[j] / (lengthscale * lengthscale);
+            }
+            linalg::vexp(row, row);
+            for (std::size_t j = 0; j < m; ++j) row[j] = signal_var * row[j];
+        }
+    }
+
+    [[nodiscard]] double rbf_kernel(std::span<const double> a, std::span<const double> b,
+                                    double signal_var,
+                                    double lengthscale) const noexcept override {
+        double d2 = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            const double d = a[i] - b[i];
+            d2 += d * d;
+        }
+        // linalg::fast_exp everywhere a kernel value is produced — scalar
+        // and batched paths must agree bit for bit (fastmath.hpp).
+        return signal_var * linalg::fast_exp(-0.5 * d2 / (lengthscale * lengthscale));
+    }
+
+    [[nodiscard]] Matrix cholesky_factor(const Matrix& a) const override {
+        return detail::cholesky_factor_portable(a);
+    }
+
+    void cholesky_extend(Matrix& l, const Vec& b, double c) const override {
+        detail::cholesky_extend_portable(l, b, c);
+    }
+
+    void solve_lower_multi(const Matrix& l, Matrix& b) const override {
+        detail::solve_lower_multi_portable(l, b);
+    }
+
+    void solve_lower_multi_fused(const Matrix& l, Matrix& b,
+                                 std::span<const double> weights,
+                                 std::span<double> weighted_sums,
+                                 std::span<double> sq_norms) const override {
+        detail::solve_lower_multi_fused_portable(l, b, weights, weighted_sums, sq_norms);
+    }
+};
+
+// ------------------------------------------------------------------ fast
+//
+// SIMD-shaped variants: the same O() algorithms with their reductions
+// re-associated for vector lanes — multi-accumulator dot products,
+// norm-expansion distances, reciprocal-multiply triangular sweeps, and
+// -march-aware tile widths. Each re-association changes rounding, so
+// fast declares per-kernel tolerance envelopes instead of bitwise
+// identity; tests/test_backend_diff.cpp enforces them.
+
+/// Tile width for the multi-RHS sweep: wider vectors want wider tiles
+/// before the per-row sweep overhead amortizes.
+#if defined(__AVX512F__)
+constexpr std::size_t kFastTile = 128;
+#elif defined(__AVX2__)
+constexpr std::size_t kFastTile = 96;
+#else
+constexpr std::size_t kFastTile = 64;
+#endif
+
+/// Dot product with four independent accumulators combined pairwise —
+/// breaks the serial add chain so the loop vectorizes and pipelines.
+[[nodiscard]] double dot4(const double* x, const double* y, std::size_t len) noexcept {
+    double s0 = 0.0;
+    double s1 = 0.0;
+    double s2 = 0.0;
+    double s3 = 0.0;
+    std::size_t k = 0;
+    for (; k + 4 <= len; k += 4) {
+        s0 += x[k] * y[k];
+        s1 += x[k + 1] * y[k + 1];
+        s2 += x[k + 2] * y[k + 2];
+        s3 += x[k + 3] * y[k + 3];
+    }
+    double tail = 0.0;
+    for (; k < len; ++k) tail += x[k] * y[k];
+    return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+template <bool Fused>
+void fast_lower_sweep(const Matrix& l, Matrix& b, std::span<const double> weights,
+                      std::span<double> weighted_sums, std::span<double> sq_norms) {
+    const std::size_t n = l.rows();
+    const std::size_t m = b.cols();
+    for (std::size_t j0 = 0; j0 < m; j0 += kFastTile) {
+        const std::size_t tile = std::min(kFastTile, m - j0);
+        for (std::size_t i = 0; i < n; ++i) {
+            double* row_i = b.row(i).data() + j0;
+            if constexpr (Fused) {
+                const double wi = weights[i];
+                double* wsum = weighted_sums.data() + j0;
+                for (std::size_t j = 0; j < tile; ++j) wsum[j] += row_i[j] * wi;
+            }
+            // Two update rows per pass halves the traffic over row_i
+            // (the bandwidth-bound half of the sweep).
+            std::size_t k = 0;
+            for (; k + 2 <= i; k += 2) {
+                const double lik0 = l(i, k);
+                const double lik1 = l(i, k + 1);
+                const double* row_k0 = b.row(k).data() + j0;
+                const double* row_k1 = b.row(k + 1).data() + j0;
+                for (std::size_t j = 0; j < tile; ++j) {
+                    row_i[j] -= lik0 * row_k0[j] + lik1 * row_k1[j];
+                }
+            }
+            for (; k < i; ++k) {
+                const double lik = l(i, k);
+                const double* row_k = b.row(k).data() + j0;
+                for (std::size_t j = 0; j < tile; ++j) row_i[j] -= lik * row_k[j];
+            }
+            const double inv = 1.0 / l(i, i);
+            for (std::size_t j = 0; j < tile; ++j) row_i[j] *= inv;
+            if constexpr (Fused) {
+                double* sq = sq_norms.data() + j0;
+                for (std::size_t j = 0; j < tile; ++j) sq[j] += row_i[j] * row_i[j];
+            }
+        }
+    }
+}
+
+class FastBackend final : public LinalgBackend {
+public:
+    [[nodiscard]] std::string_view name() const noexcept override { return "fast"; }
+
+    [[nodiscard]] Tolerance tolerance(Kernel kernel) const noexcept override {
+        // Envelopes are |fast - strict| <= abs + rel * max(|strict|,
+        // input max_abs); set from the harness's observed maxima with
+        // two-plus orders of magnitude of headroom (see
+        // docs/ARCHITECTURE.md "linalg backends").
+        switch (kernel) {
+            case Kernel::kCrossSqDist:
+                // Norm expansion cancels catastrophically only near
+                // d2 = 0, where the abs term covers it.
+                return {1e-12, 1e-12};
+            case Kernel::kVexp:
+                return {0.0, 0.0};  // shares strict's fast_exp verbatim
+            case Kernel::kRbfFromSqDist:
+            case Kernel::kRbfKernel:
+                // The exponent is formed as d2 * (-0.5/l^2): a couple of
+                // ulp of argument error, amplified by |argument|.
+                // Observed worst over the sweep: ~2e-16.
+                return {1e-13, 1e-14};
+            case Kernel::kCholeskyFactor:
+            case Kernel::kCholeskyExtend:
+                // Re-associated pivots lose accuracy with conditioning;
+                // near the GP jitter floor the last pivots carry the
+                // brunt of it. Observed worst (duplicate points, noise
+                // 1e-9): ~4e-12.
+                return {1e-9, 1e-10};
+            case Kernel::kSolveLowerMulti:
+            case Kernel::kSolveLowerMultiFused:
+                // Reciprocal-multiply rows + 2-way unroll, amplified by
+                // the factor's conditioning. Observed worst: ~5e-14.
+                return {1e-10, 1e-11};
+        }
+        return {1e-6, 1e-6};  // unreachable; keeps -Wreturn-type honest
+    }
+
+    [[nodiscard]] Matrix cross_sq_dist(const Matrix& a, const Matrix& b) const override {
+        support::check(a.cols() == b.cols(), "cross_sq_dist: dimension mismatch");
+        const std::size_t n = a.rows();
+        const std::size_t m = b.rows();
+        const std::size_t d = a.cols();
+        // Norm expansion: |a_i - b_j|^2 = |a_i|^2 + |b_j|^2 - 2 a_i·b_j.
+        // The cross term is a rank-d update with the inner loop
+        // contiguous over j (b pre-transposed), so the whole entry
+        // stream vectorizes; the clamp soaks up the cancellation that
+        // can push tiny distances slightly negative.
+        const Matrix bt = b.transposed();
+        Vec b_norms(m);
+        for (std::size_t j = 0; j < m; ++j) {
+            const double* bj = b.row(j).data();
+            b_norms[j] = dot4(bj, bj, d);
+        }
+        Matrix out(n, m);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double* ai = a.row(i).data();
+            const double a_norm = dot4(ai, ai, d);
+            double* orow = out.row(i).data();
+            for (std::size_t j = 0; j < m; ++j) orow[j] = a_norm + b_norms[j];
+            for (std::size_t k = 0; k < d; ++k) {
+                const double aik2 = -2.0 * ai[k];
+                const double* btk = bt.row(k).data();
+                for (std::size_t j = 0; j < m; ++j) orow[j] += aik2 * btk[j];
+            }
+            for (std::size_t j = 0; j < m; ++j) orow[j] = orow[j] > 0.0 ? orow[j] : 0.0;
+        }
+        return out;
+    }
+
+    void vexp(std::span<const double> x, std::span<double> out) const noexcept override {
+        linalg::vexp(x, out);  // already branch-light and vectorizable
+    }
+
+    void rbf_from_sq_dist(Matrix& d2, double signal_var,
+                          double lengthscale) const noexcept override {
+        // One fused pass with the exponent scale hoisted to a single
+        // reciprocal multiply.
+        const double c = -0.5 / (lengthscale * lengthscale);
+        const std::size_t rows = d2.rows();
+        const std::size_t m = d2.cols();
+        for (std::size_t i = 0; i < rows; ++i) {
+            const std::span<double> row = d2.row(i);
+            for (std::size_t j = 0; j < m; ++j) {
+                row[j] = signal_var * fast_exp(row[j] * c);
+            }
+        }
+    }
+
+    [[nodiscard]] double rbf_kernel(std::span<const double> a, std::span<const double> b,
+                                    double signal_var,
+                                    double lengthscale) const noexcept override {
+        double d2 = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            const double d = a[i] - b[i];
+            d2 += d * d;
+        }
+        const double c = -0.5 / (lengthscale * lengthscale);
+        return signal_var * fast_exp(d2 * c);
+    }
+
+    [[nodiscard]] Matrix cholesky_factor(const Matrix& a) const override {
+        const std::size_t n = a.rows();
+        Matrix l(n, n);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double* lj = l.row(j).data();
+            double diag = a(j, j) - dot4(lj, lj, j);
+            if (!(diag > 0.0) || !std::isfinite(diag)) {
+                throw support::Error("linalg", "matrix is not positive definite (pivot " +
+                                                   std::to_string(j) + ")");
+            }
+            const double ljj = std::sqrt(diag);
+            l(j, j) = ljj;
+            const double inv = 1.0 / ljj;
+            for (std::size_t i = j + 1; i < n; ++i) {
+                const double s = a(i, j) - dot4(l.row(i).data(), lj, j);
+                l(i, j) = s * inv;
+            }
+        }
+        return l;
+    }
+
+    void cholesky_extend(Matrix& l_, const Vec& b, double c) const override {
+        const std::size_t n = l_.rows();
+        Vec y(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double s = b[i] - dot4(l_.row(i).data(), y.data(), i);
+            y[i] = s / l_(i, i);
+        }
+        const double d2 = c - dot4(y.data(), y.data(), n);
+        if (!(d2 > 0.0) || !std::isfinite(d2)) {
+            throw support::Error("linalg",
+                                 "extend: matrix is not positive definite (pivot " +
+                                     std::to_string(n) + ")");
+        }
+        Matrix grown(n + 1, n + 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j <= i; ++j) grown(i, j) = l_(i, j);
+        }
+        for (std::size_t k = 0; k < n; ++k) grown(n, k) = y[k];
+        grown(n, n) = std::sqrt(d2);
+        l_ = std::move(grown);
+    }
+
+    void solve_lower_multi(const Matrix& l, Matrix& b) const override {
+        fast_lower_sweep<false>(l, b, {}, {}, {});
+    }
+
+    void solve_lower_multi_fused(const Matrix& l, Matrix& b,
+                                 std::span<const double> weights,
+                                 std::span<double> weighted_sums,
+                                 std::span<double> sq_norms) const override {
+        fast_lower_sweep<true>(l, b, weights, weighted_sums, sq_norms);
+    }
+};
+
+}  // namespace
+
+const LinalgBackend& strict_backend() noexcept {
+    static const StrictBackend backend;
+    return backend;
+}
+
+const LinalgBackend& fast_backend() noexcept {
+    static const FastBackend backend;
+    return backend;
+}
+
+const std::vector<std::string>& backend_names() {
+    static const std::vector<std::string> names{"strict", "fast"};
+    return names;
+}
+
+bool is_backend_name(std::string_view name) noexcept {
+    return name == "strict" || name == "fast";
+}
+
+const LinalgBackend& backend_by_name(std::string_view name) {
+    if (name == "strict") return strict_backend();
+    if (name == "fast") return fast_backend();
+    std::string valid;
+    for (const std::string& known : backend_names()) {
+        if (!valid.empty()) valid += ", ";
+        valid += known;
+    }
+    throw support::ConfigError("unknown linalg backend '" + std::string(name) +
+                               "' (valid backends: " + valid + ")");
+}
+
+const std::string& default_backend_name() {
+    static const std::string name = [] {
+        const char* env = std::getenv("SDLBENCH_LINALG_BACKEND");
+        if (env == nullptr || *env == '\0') return std::string("strict");
+        (void)backend_by_name(env);  // typos in the env var fail loudly
+        return std::string(env);
+    }();
+    return name;
+}
+
+}  // namespace sdl::linalg

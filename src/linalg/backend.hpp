@@ -1,0 +1,135 @@
+// Pluggable linear-algebra backends for the GP batch-inference seam.
+//
+// Every hot kernel the Bayesian-optimization loop leans on — pairwise
+// squared distances, the batched RBF map, blocked Cholesky factor /
+// rank-1 extension, and the multi-RHS triangular solves — is routed
+// through a LinalgBackend so implementations can be swapped per run
+// without touching the solver. Two backends ship today:
+//
+//   strict  The portable reference kernels, verbatim. This is the
+//           bitwise anchor of the repo's reproducibility contract:
+//           same spec => byte-identical campaign.json, on every
+//           machine, at every thread count. All defaults resolve here.
+//
+//   fast    Explicit SIMD-shaped variants (multi-accumulator dot
+//           products, reciprocal-multiply triangular sweeps, -march
+//           aware tile sizes). Not bitwise identical to strict; each
+//           kernel instead declares a tolerance envelope that the
+//           differential harness (tests/test_backend_diff.cpp)
+//           enforces over randomized inputs.
+//
+// A backend is only trusted once the differential harness has compared
+// it against strict across the randomized input space — new backends
+// (BLAS, GPU) land by implementing this interface and extending that
+// harness, not by editing the solver.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace sdl::linalg {
+
+class LinalgBackend {
+public:
+    /// The kernels a backend implements; used to key tolerance
+    /// envelopes and the differential harness's per-kernel sweeps.
+    enum class Kernel {
+        kCrossSqDist,
+        kVexp,
+        kRbfFromSqDist,
+        kRbfKernel,
+        kCholeskyFactor,
+        kCholeskyExtend,
+        kSolveLowerMulti,
+        kSolveLowerMultiFused,
+    };
+
+    /// Declared accuracy envelope versus the strict reference for one
+    /// kernel: every output element must satisfy
+    ///   |fast - strict| <= abs + rel * max(|strict|, scale)
+    /// where `scale` is the kernel's natural magnitude (the harness
+    /// passes the input's max_abs). {0, 0} means bitwise identical.
+    struct Tolerance {
+        double rel = 0.0;
+        double abs = 0.0;
+        [[nodiscard]] bool bitwise() const noexcept { return rel == 0.0 && abs == 0.0; }
+    };
+
+    virtual ~LinalgBackend() = default;
+
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+    /// The envelope this backend promises for `kernel`; enforced by
+    /// tests/test_backend_diff.cpp over seeded randomized inputs.
+    [[nodiscard]] virtual Tolerance tolerance(Kernel kernel) const noexcept = 0;
+
+    /// Pairwise squared Euclidean distances (see linalg::cross_sq_dist).
+    [[nodiscard]] virtual Matrix cross_sq_dist(const Matrix& a, const Matrix& b) const = 0;
+
+    /// Elementwise exp; in-place (out == x) must be supported.
+    virtual void vexp(std::span<const double> x, std::span<double> out) const noexcept = 0;
+
+    /// In-place map of a squared-distance matrix to RBF kernel values:
+    ///   d2(i, j) -> signal_var * exp(-0.5 * d2(i, j) / lengthscale^2)
+    virtual void rbf_from_sq_dist(Matrix& d2, double signal_var,
+                                  double lengthscale) const noexcept = 0;
+
+    /// One RBF kernel value for a single pair of points.
+    [[nodiscard]] virtual double rbf_kernel(std::span<const double> a,
+                                            std::span<const double> b, double signal_var,
+                                            double lengthscale) const noexcept = 0;
+
+    /// Lower-triangular Cholesky factor L of the SPD matrix `a` (upper
+    /// triangle of the result is zero). Throws Error("linalg") when `a`
+    /// is not numerically positive definite.
+    [[nodiscard]] virtual Matrix cholesky_factor(const Matrix& a) const = 0;
+
+    /// Rank-1 extension of an n x n factor `l` to the factor of
+    /// [[A, b], [b^T, c]] in O(n^2). Throws Error("linalg") (leaving
+    /// `l` unchanged) when the extended matrix is not positive definite.
+    virtual void cholesky_extend(Matrix& l, const Vec& b, double c) const = 0;
+
+    /// Multi-RHS forward substitution, in place: solves L Y = B for all
+    /// columns of `b` at once. Sizes are validated by the caller
+    /// (linalg::Cholesky).
+    virtual void solve_lower_multi(const Matrix& l, Matrix& b) const = 0;
+
+    /// solve_lower_multi fused with the two GP reductions (posterior
+    /// mean and |L^-1 k_*|^2 — see Cholesky::solve_lower_multi_fused).
+    /// `weighted_sums` and `sq_norms` arrive zeroed; implementations
+    /// accumulate into them.
+    virtual void solve_lower_multi_fused(const Matrix& l, Matrix& b,
+                                         std::span<const double> weights,
+                                         std::span<double> weighted_sums,
+                                         std::span<double> sq_norms) const = 0;
+};
+
+/// The portable reference backend (bitwise contract). Lives for the
+/// whole program; safe to hold by pointer.
+[[nodiscard]] const LinalgBackend& strict_backend() noexcept;
+
+/// The SIMD-shaped backend (tolerance-envelope contract).
+[[nodiscard]] const LinalgBackend& fast_backend() noexcept;
+
+/// Registered backend names, in presentation order ("strict" first).
+[[nodiscard]] const std::vector<std::string>& backend_names();
+
+[[nodiscard]] bool is_backend_name(std::string_view name) noexcept;
+
+/// Looks a backend up by name; throws ConfigError naming the valid set
+/// when `name` is unknown — config parsing and the CLI route every
+/// user-supplied backend name through here so typos fail loudly.
+[[nodiscard]] const LinalgBackend& backend_by_name(std::string_view name);
+
+/// The process-default backend name: "strict" unless the
+/// SDLBENCH_LINALG_BACKEND environment variable names another
+/// registered backend (how CI's backend-matrix leg reruns the tier-1
+/// suites on `fast` without touching any spec file). Read once, at
+/// first use; an unknown name in the env var throws ConfigError.
+[[nodiscard]] const std::string& default_backend_name();
+
+}  // namespace sdl::linalg

@@ -3,54 +3,64 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/backend.hpp"
 #include "support/common.hpp"
 
 namespace sdl::linalg {
 
-Cholesky::Cholesky(const Matrix& a) {
-    support::check(a.rows() == a.cols(), "cholesky: matrix must be square");
+namespace detail {
+
+Matrix cholesky_factor_portable(const Matrix& a) {
     const std::size_t n = a.rows();
-    l_ = Matrix(n, n);
+    Matrix l(n, n);
     for (std::size_t j = 0; j < n; ++j) {
         double diag = a(j, j);
-        for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+        for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
         if (!(diag > 0.0) || !std::isfinite(diag)) {
             throw support::Error("linalg", "matrix is not positive definite (pivot " +
                                                std::to_string(j) + ")");
         }
         const double ljj = std::sqrt(diag);
-        l_(j, j) = ljj;
+        l(j, j) = ljj;
         for (std::size_t i = j + 1; i < n; ++i) {
             double s = a(i, j);
-            for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
-            l_(i, j) = s / ljj;
+            for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+            l(i, j) = s / ljj;
         }
     }
+    return l;
 }
 
-Vec Cholesky::solve_lower(const Vec& b) const {
-    const std::size_t n = size();
-    support::check(b.size() == n, "cholesky solve: size mismatch");
+Vec solve_lower_portable(const Matrix& l, const Vec& b) {
+    const std::size_t n = l.rows();
     Vec y(n);
     for (std::size_t i = 0; i < n; ++i) {
         double s = b[i];
-        for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
-        y[i] = s / l_(i, i);
+        for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+        y[i] = s / l(i, i);
     }
     return y;
 }
 
-Vec Cholesky::solve(const Vec& b) const {
-    const std::size_t n = size();
-    Vec y = solve_lower(b);
-    // Back substitution with Lᵀ.
-    Vec x(n);
-    for (std::size_t ii = n; ii-- > 0;) {
-        double s = y[ii];
-        for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
-        x[ii] = s / l_(ii, ii);
+void cholesky_extend_portable(Matrix& l_, const Vec& b, double c) {
+    const std::size_t n = l_.rows();
+    // New bottom row: l = L⁻¹ b — the same recurrence a full
+    // factorization would run for row n, in the same accumulation order.
+    const Vec l = solve_lower_portable(l_, b);
+    double d2 = c;
+    for (std::size_t k = 0; k < n; ++k) d2 -= l[k] * l[k];
+    if (!(d2 > 0.0) || !std::isfinite(d2)) {
+        throw support::Error("linalg",
+                             "extend: matrix is not positive definite (pivot " +
+                                 std::to_string(n) + ")");
     }
-    return x;
+    Matrix grown(n + 1, n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) grown(i, j) = l_(i, j);
+    }
+    for (std::size_t k = 0; k < n; ++k) grown(n, k) = l[k];
+    grown(n, n) = std::sqrt(d2);
+    l_ = std::move(grown);
 }
 
 namespace {
@@ -95,9 +105,47 @@ void tiled_lower_sweep(const Matrix& l, Matrix& b, std::span<const double> weigh
 
 }  // namespace
 
+void solve_lower_multi_portable(const Matrix& l, Matrix& b) {
+    tiled_lower_sweep<false>(l, b, {}, {}, {});
+}
+
+void solve_lower_multi_fused_portable(const Matrix& l, Matrix& b,
+                                      std::span<const double> weights,
+                                      std::span<double> weighted_sums,
+                                      std::span<double> sq_norms) {
+    tiled_lower_sweep<true>(l, b, weights, weighted_sums, sq_norms);
+}
+
+}  // namespace detail
+
+Cholesky::Cholesky(const Matrix& a) : Cholesky(a, strict_backend()) {}
+
+Cholesky::Cholesky(const Matrix& a, const LinalgBackend& backend) : backend_(&backend) {
+    support::check(a.rows() == a.cols(), "cholesky: matrix must be square");
+    l_ = backend_->cholesky_factor(a);
+}
+
+Vec Cholesky::solve_lower(const Vec& b) const {
+    support::check(b.size() == size(), "cholesky solve: size mismatch");
+    return detail::solve_lower_portable(l_, b);
+}
+
+Vec Cholesky::solve(const Vec& b) const {
+    const std::size_t n = size();
+    Vec y = solve_lower(b);
+    // Back substitution with Lᵀ.
+    Vec x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+        x[ii] = s / l_(ii, ii);
+    }
+    return x;
+}
+
 void Cholesky::solve_lower_multi(Matrix& b) const {
     support::check(b.rows() == size(), "cholesky solve_lower_multi: size mismatch");
-    tiled_lower_sweep<false>(l_, b, {}, {}, {});
+    backend_->solve_lower_multi(l_, b);
 }
 
 void Cholesky::solve_lower_multi_fused(Matrix& b, std::span<const double> weights,
@@ -113,29 +161,12 @@ void Cholesky::solve_lower_multi_fused(Matrix& b, std::span<const double> weight
         weighted_sums[j] = 0.0;
         sq_norms[j] = 0.0;
     }
-    tiled_lower_sweep<true>(l_, b, weights, weighted_sums, sq_norms);
+    backend_->solve_lower_multi_fused(l_, b, weights, weighted_sums, sq_norms);
 }
 
 void Cholesky::extend(const Vec& b, double c) {
-    const std::size_t n = size();
-    support::check(b.size() == n, "cholesky extend: size mismatch");
-    // New bottom row: l = L⁻¹ b — the same recurrence a full
-    // factorization would run for row n, in the same accumulation order.
-    const Vec l = solve_lower(b);
-    double d2 = c;
-    for (std::size_t k = 0; k < n; ++k) d2 -= l[k] * l[k];
-    if (!(d2 > 0.0) || !std::isfinite(d2)) {
-        throw support::Error("linalg",
-                             "extend: matrix is not positive definite (pivot " +
-                                 std::to_string(n) + ")");
-    }
-    Matrix grown(n + 1, n + 1);
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j <= i; ++j) grown(i, j) = l_(i, j);
-    }
-    for (std::size_t k = 0; k < n; ++k) grown(n, k) = l[k];
-    grown(n, n) = std::sqrt(d2);
-    l_ = std::move(grown);
+    support::check(b.size() == size(), "cholesky extend: size mismatch");
+    backend_->cholesky_extend(l_, b, c);
 }
 
 double Cholesky::log_det() const noexcept {
@@ -145,6 +176,12 @@ double Cholesky::log_det() const noexcept {
 }
 
 Cholesky cholesky_with_jitter(Matrix a, double initial_jitter, int max_attempts) {
+    return cholesky_with_jitter(std::move(a), strict_backend(), initial_jitter,
+                                max_attempts);
+}
+
+Cholesky cholesky_with_jitter(Matrix a, const LinalgBackend& backend,
+                              double initial_jitter, int max_attempts) {
     double jitter = initial_jitter;
     // Scale the first jitter to the matrix magnitude so tiny and huge
     // kernels both factor on early attempts.
@@ -152,13 +189,13 @@ Cholesky cholesky_with_jitter(Matrix a, double initial_jitter, int max_attempts)
     if (scale > 0.0) jitter *= scale;
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
         try {
-            return Cholesky(a);
+            return Cholesky(a, backend);
         } catch (const support::Error&) {
             a.add_diagonal(jitter);
             jitter *= 10.0;
         }
     }
-    return Cholesky(a);  // Final attempt; propagate its error if it fails.
+    return Cholesky(a, backend);  // Final attempt; propagate its error if it fails.
 }
 
 }  // namespace sdl::linalg

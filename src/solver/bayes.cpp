@@ -5,7 +5,7 @@
 #include <memory>
 #include <numbers>
 
-#include "linalg/fastmath.hpp"
+#include "linalg/backend.hpp"
 #include "linalg/matrix.hpp"
 #include "support/common.hpp"
 #include "support/thread_pool.hpp"
@@ -19,29 +19,37 @@ double normal_pdf(double z) noexcept {
 double normal_cdf(double z) noexcept { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
 }  // namespace
 
+const linalg::LinalgBackend& GaussianProcess::backend() const noexcept {
+    return backend_ != nullptr ? *backend_ : linalg::strict_backend();
+}
+
 double GaussianProcess::kernel(std::span<const double> a, std::span<const double> b,
                                const Hyperparams& p) const noexcept {
-    double d2 = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        const double d = a[i] - b[i];
-        d2 += d * d;
+    return backend().rbf_kernel(a, b, p.signal_var, p.lengthscale);
+}
+
+linalg::Matrix GaussianProcess::train_matrix() const {
+    const std::size_t n = xs_.size();
+    const std::size_t dims = xs_.front().size();
+    linalg::Matrix train(n, dims);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::span<double> row = train.row(i);
+        for (std::size_t k = 0; k < dims; ++k) row[k] = xs_[i][k];
     }
-    // linalg::fast_exp everywhere a kernel value is produced — scalar and
-    // batched paths must agree bit for bit (fastmath.hpp).
-    return p.signal_var * linalg::fast_exp(-0.5 * d2 / (p.lengthscale * p.lengthscale));
+    return train;
 }
 
 linalg::Matrix GaussianProcess::kernel_matrix(const Hyperparams& p) const {
+    // Assembled with the batch kernels (one cross_sq_dist + one RBF
+    // map) instead of n^2 scalar kernel() calls. On the strict backend
+    // each entry carries kernel()'s exact bits: the squared distance
+    // accumulates in the same ascending-dimension order, and the RBF
+    // map runs the same expression sequence (matrix.hpp, backend.cpp).
     const std::size_t n = xs_.size();
-    linalg::Matrix k(n, n);
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j <= i; ++j) {
-            const double v = kernel(xs_[i], xs_[j], p);
-            k(i, j) = v;
-            k(j, i) = v;
-        }
-        k(i, i) += p.noise_var;
-    }
+    const linalg::Matrix train = train_matrix();
+    linalg::Matrix k = backend().cross_sq_dist(train, train);
+    backend().rbf_from_sq_dist(k, p.signal_var, p.lengthscale);
+    for (std::size_t i = 0; i < n; ++i) k(i, i) += p.noise_var;
     return k;
 }
 
@@ -54,7 +62,7 @@ double GaussianProcess::lml_terms(const linalg::Cholesky& chol,
 
 void GaussianProcess::factorize(const Hyperparams& p) {
     chol_ = std::make_unique<linalg::Cholesky>(
-        linalg::cholesky_with_jitter(kernel_matrix(p)));
+        linalg::cholesky_with_jitter(kernel_matrix(p), backend()));
     alpha_ = chol_->solve(ys_std_);
     params_ = p;
 }
@@ -73,7 +81,8 @@ double GaussianProcess::log_marginal_likelihood(const Hyperparams& p) const {
     if (chol_ != nullptr && chol_->size() == xs_.size() && same_params(p, params_)) {
         return lml_terms(*chol_, alpha_);
     }
-    const linalg::Cholesky chol = linalg::cholesky_with_jitter(kernel_matrix(p));
+    const linalg::Cholesky chol =
+        linalg::cholesky_with_jitter(kernel_matrix(p), backend());
     return lml_terms(chol, chol.solve(ys_std_));
 }
 
@@ -139,7 +148,7 @@ void GaussianProcess::fit(std::vector<std::vector<double>> xs, std::vector<doubl
         for (const double noise : {1e-3, 1e-2, 1e-1}) {
             const Hyperparams p{lengthscale, noise, 1.0};
             auto chol = std::make_unique<linalg::Cholesky>(
-                linalg::cholesky_with_jitter(kernel_matrix(p)));
+                linalg::cholesky_with_jitter(kernel_matrix(p), backend()));
             linalg::Vec alpha = chol->solve(ys_std_);
             const double lml = lml_terms(*chol, alpha);
             if (lml > best_lml) {
@@ -176,33 +185,20 @@ GaussianProcess::Prediction GaussianProcess::predict(std::span<const double> x) 
 std::vector<GaussianProcess::Prediction> GaussianProcess::predict_batch(
     const linalg::Matrix& x) const {
     support::check(fitted(), "GP predict before fit");
-    const std::size_t n = xs_.size();
-    const std::size_t dims = xs_.front().size();
-    support::check(x.cols() == dims, "GP predict_batch: dimension mismatch");
+    support::check(x.cols() == xs_.front().size(),
+                   "GP predict_batch: dimension mismatch");
     const std::size_t m = x.rows();
     std::vector<Prediction> out(m);
     if (m == 0) return out;
 
-    linalg::Matrix train(n, dims);
-    for (std::size_t i = 0; i < n; ++i) {
-        const std::span<double> row = train.row(i);
-        for (std::size_t k = 0; k < dims; ++k) row[k] = xs_[i][k];
-    }
+    const linalg::Matrix train = train_matrix();
 
-    // Cross-kernel matrix, column j = k(train, x_j); the RBF is applied
-    // elementwise with the exact operations kernel() uses — the same
-    // -0.5*d2/(l*l) argument, the same fast_exp (via its array form),
-    // and the signal-variance scale (multiplication commutes bitwise) —
-    // so each entry carries kernel()'s bits.
-    linalg::Matrix kx = linalg::cross_sq_dist(train, x);
-    const double sv = params_.signal_var;
-    const double ls = params_.lengthscale;
-    for (std::size_t i = 0; i < n; ++i) {
-        const std::span<double> row = kx.row(i);
-        for (std::size_t j = 0; j < m; ++j) row[j] = -0.5 * row[j] / (ls * ls);
-        linalg::vexp(row, row);
-        for (std::size_t j = 0; j < m; ++j) row[j] = sv * row[j];
-    }
+    // Cross-kernel matrix, column j = k(train, x_j): one backend
+    // cross_sq_dist plus one backend RBF map. On the strict backend each
+    // entry carries kernel()'s bits (same -0.5*d2/(l*l) argument, same
+    // fast_exp via its array form, same signal-variance scale).
+    linalg::Matrix kx = backend().cross_sq_dist(train, x);
+    backend().rbf_from_sq_dist(kx, params_.signal_var, params_.lengthscale);
 
     // One fused sweep: multi-RHS forward substitution plus the mean and
     // |L^-1 k_*|^2 reductions.
@@ -219,7 +215,7 @@ std::vector<GaussianProcess::Prediction> GaussianProcess::predict_batch(
 }
 
 std::vector<GaussianProcess::Prediction> score_candidate_pool(
-    const GaussianProcess& gp, const linalg::Matrix& pool) {
+    const GaussianProcess& gp, const linalg::Matrix& pool, std::size_t max_workers) {
     const std::size_t n = gp.size();
     const std::size_t candidates = pool.rows();
     const std::size_t dims = pool.cols();
@@ -246,7 +242,7 @@ std::vector<GaussianProcess::Prediction> score_candidate_pool(
             }
             return gp.predict_batch(block);
         },
-        support::ParallelOptions{});
+        support::ParallelOptions{.max_workers = max_workers});
     std::vector<GaussianProcess::Prediction> preds;
     preds.reserve(candidates);
     for (auto& block : chunked) preds.insert(preds.end(), block.begin(), block.end());
@@ -330,6 +326,7 @@ std::vector<std::vector<double>> BayesSolver::ask(std::size_t n) {
     // re-fitting a fresh O(n³) GP (which also forgot the optimized
     // hyperparameters) for every pick.
     GaussianProcess gp;
+    if (config_.backend != nullptr) gp.set_backend(*config_.backend);
     gp.fit(xs, ys, /*optimize=*/true);
     double best_y = ys.front();
     for (const double y : ys) best_y = std::min(best_y, y);

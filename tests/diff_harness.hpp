@@ -1,0 +1,167 @@
+// Shared helpers for cross-backend differential tests.
+//
+// The differential harness (test_backend_diff.cpp) compares every
+// LinalgBackend against the strict reference over seeded randomized
+// inputs. Two comparison regimes exist:
+//
+//   bitwise   expect_bits_equal — the strict contract. Failure prints
+//             the first mismatching element with both bit patterns.
+//   envelope  EnvelopeCheck — the fast contract. Each element must
+//             satisfy |got - ref| <= abs + rel * max(|ref|, scale)
+//             against the backend's declared Tolerance; the check
+//             accumulates the worst violation ratio so a failing run
+//             reports how far outside the envelope the backend landed
+//             (and a passing run can report the observed headroom).
+//
+// Kept header-only so future backend suites (BLAS, GPU) reuse it
+// without a test-support library.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "linalg/backend.hpp"
+#include "linalg/matrix.hpp"
+#include "support/random.hpp"
+
+namespace sdl::diffharness {
+
+inline linalg::Matrix random_matrix(support::Rng& rng, std::size_t rows,
+                                    std::size_t cols, double lo, double hi) {
+    linalg::Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(lo, hi);
+    }
+    return m;
+}
+
+/// Random points in the solver's native domain (mixing ratios live in
+/// [0, 1]^d). `duplicate_every` > 0 copies earlier rows verbatim —
+/// exact duplicates drive the kernel matrix toward singularity, which
+/// is how the ill-conditioned sweeps approach the GP jitter floor.
+inline linalg::Matrix random_points(support::Rng& rng, std::size_t n, std::size_t d,
+                                    std::size_t duplicate_every = 0) {
+    linalg::Matrix pts = random_matrix(rng, n, d, 0.0, 1.0);
+    if (duplicate_every > 0) {
+        for (std::size_t i = duplicate_every; i < n; i += duplicate_every) {
+            for (std::size_t k = 0; k < d; ++k) pts(i, k) = pts(i - 1, k);
+        }
+    }
+    return pts;
+}
+
+/// RBF gram matrix assembled on the strict backend — the SPD input for
+/// the factor/extend/solve sweeps. Smaller `noise` means a harder
+/// (worse-conditioned) factorization, especially with duplicate points.
+inline linalg::Matrix gram_matrix(const linalg::Matrix& pts, double lengthscale,
+                                  double noise) {
+    const linalg::LinalgBackend& strict = linalg::strict_backend();
+    linalg::Matrix k = strict.cross_sq_dist(pts, pts);
+    strict.rbf_from_sq_dist(k, 1.0, lengthscale);
+    for (std::size_t i = 0; i < k.rows(); ++i) k(i, i) += noise;
+    return k;
+}
+
+inline std::uint64_t bits(double x) noexcept { return std::bit_cast<std::uint64_t>(x); }
+
+inline void expect_bits_equal(std::span<const double> ref, std::span<const double> got,
+                              const std::string& what) {
+    ASSERT_EQ(ref.size(), got.size()) << what;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        if (bits(ref[i]) != bits(got[i])) {
+            ADD_FAILURE() << what << ": element " << i << " differs: ref " << ref[i]
+                          << " (0x" << std::hex << bits(ref[i]) << ") vs got "
+                          << got[i] << " (0x" << bits(got[i]) << ")";
+            return;  // one mismatch per call keeps the log readable
+        }
+    }
+}
+
+inline void expect_bits_equal(const linalg::Matrix& ref, const linalg::Matrix& got,
+                              const std::string& what) {
+    ASSERT_EQ(ref.rows(), got.rows()) << what;
+    ASSERT_EQ(ref.cols(), got.cols()) << what;
+    for (std::size_t r = 0; r < ref.rows(); ++r) {
+        expect_bits_equal(ref.row(r), got.row(r), what + " row " + std::to_string(r));
+    }
+}
+
+/// Accumulates envelope comparisons across a whole sweep. `ratio` is
+/// |got - ref| / (abs + rel * max(|ref|, scale)); anything above 1
+/// violates the backend's declared tolerance. worst() lets the suite
+/// print the observed headroom after a passing run.
+class EnvelopeCheck {
+public:
+    EnvelopeCheck(std::string kernel, linalg::LinalgBackend::Tolerance tol)
+        : kernel_(std::move(kernel)), tol_(tol) {}
+
+    void compare(std::span<const double> ref, std::span<const double> got,
+                 double scale, const std::string& context) {
+        ASSERT_EQ(ref.size(), got.size()) << kernel_ << " " << context;
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            if (tol_.bitwise()) {
+                if (bits(ref[i]) != bits(got[i])) {
+                    ADD_FAILURE()
+                        << kernel_ << " " << context << ": element " << i
+                        << " must be bitwise identical: ref " << ref[i] << " vs got "
+                        << got[i];
+                }
+                continue;
+            }
+            const double err = std::fabs(got[i] - ref[i]);
+            const double allowed =
+                tol_.abs + tol_.rel * std::max(std::fabs(ref[i]), scale);
+            const double ratio = allowed > 0.0 ? err / allowed : (err > 0.0 ? 1e30 : 0.0);
+            if (ratio > worst_ratio_) {
+                worst_ratio_ = ratio;
+                worst_err_ = err;
+                worst_context_ = context + " element " + std::to_string(i);
+            }
+            if (err > allowed) {
+                ADD_FAILURE() << kernel_ << " " << context << ": element " << i
+                              << " outside declared envelope: |" << got[i] << " - "
+                              << ref[i] << "| = " << err << " > " << allowed
+                              << " (rel " << tol_.rel << ", abs " << tol_.abs
+                              << ", scale " << scale << ")";
+            }
+        }
+        ++cases_;
+    }
+
+    void compare(const linalg::Matrix& ref, const linalg::Matrix& got, double scale,
+                 const std::string& context) {
+        ASSERT_EQ(ref.rows(), got.rows()) << kernel_ << " " << context;
+        ASSERT_EQ(ref.cols(), got.cols()) << kernel_ << " " << context;
+        for (std::size_t r = 0; r < ref.rows(); ++r) {
+            compare(ref.row(r), got.row(r), scale,
+                    context + " row " + std::to_string(r));
+        }
+    }
+
+    [[nodiscard]] std::size_t cases() const noexcept { return cases_; }
+    [[nodiscard]] double worst_ratio() const noexcept { return worst_ratio_; }
+
+    /// One summary line per kernel so a green run still documents the
+    /// observed error against the declared envelope (the headroom the
+    /// envelopes were tuned to keep).
+    void report() const {
+        std::printf("  %-22s %4zu comparisons, worst error %.3g (%.1f%% of envelope)\n",
+                    kernel_.c_str(), cases_, worst_err_, worst_ratio_ * 100.0);
+    }
+
+private:
+    std::string kernel_;
+    linalg::LinalgBackend::Tolerance tol_;
+    std::size_t cases_ = 0;
+    double worst_ratio_ = 0.0;
+    double worst_err_ = 0.0;
+    std::string worst_context_;
+};
+
+}  // namespace sdl::diffharness

@@ -1,5 +1,7 @@
 # ctest -P helper: run SMOKE_BINARY [SMOKE_ARGS], fail on nonzero exit,
 # and when SMOKE_EXPECT is set require it as a substring of the output.
+# SMOKE_EXPECT_FAIL=1 inverts the exit-code check (the binary must fail)
+# — used by the negative-path smokes, e.g. an unknown --backend name.
 if(NOT DEFINED SMOKE_BINARY)
   message(FATAL_ERROR "smoke_runner.cmake: SMOKE_BINARY not set")
 endif()
@@ -16,7 +18,12 @@ execute_process(
   RESULT_VARIABLE rc
 )
 
-if(NOT rc EQUAL 0)
+if(SMOKE_EXPECT_FAIL)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+      "smoke: ${SMOKE_BINARY} ${SMOKE_ARGS} was expected to fail but exited 0\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+elseif(NOT rc EQUAL 0)
   message(FATAL_ERROR
     "smoke: ${SMOKE_BINARY} ${SMOKE_ARGS} exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
 endif()

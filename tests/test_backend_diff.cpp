@@ -1,0 +1,428 @@
+// Cross-backend differential harness (the proof layer for
+// linalg/backend.hpp).
+//
+// Three claims are enforced here:
+//   1. The strict backend is bitwise identical to the historical
+//      portable kernels — re-implemented inline below as independent
+//      scalar loops, so a "minor optimization" to either copy fails the
+//      suite instead of silently moving the reference.
+//   2. The fast backend stays inside the per-kernel tolerance envelopes
+//      it declares (LinalgBackend::tolerance), across randomized
+//      n x d x C sweeps, ill-conditioned kernels near the GP jitter
+//      floor, and post-observe rank-1 extensions.
+//   3. End to end, fast-backend experiment outcomes stay within a tight
+//      band of strict on the scenario pack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/colorpicker.hpp"
+#include "core/scenarios.hpp"
+#include "core/workcell_spec.hpp"
+#include "diff_harness.hpp"
+#include "linalg/backend.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/fastmath.hpp"
+#include "solver/bayes.hpp"
+#include "support/common.hpp"
+#include "support/random.hpp"
+
+using namespace sdl;
+using namespace sdl::diffharness;
+using linalg::LinalgBackend;
+using linalg::Matrix;
+using linalg::Vec;
+using sdl::support::Rng;
+using Kernel = LinalgBackend::Kernel;
+
+namespace {
+
+/// The randomized n (training points) x d (dims) x C (candidates)
+/// sweep grid. Sizes straddle the solver's real shapes (n up to the GP
+/// max_points neighborhood, C around the 512-candidate pools) plus the
+/// degenerate edges (n = 1, C = 1, odd sizes that leave unroll tails).
+struct CaseShape {
+    std::size_t n, d, c;
+};
+constexpr CaseShape kShapes[] = {
+    {1, 2, 1},   {2, 3, 7},   {3, 4, 17},   {5, 4, 33},  {8, 4, 48},
+    {13, 3, 64}, {21, 4, 95}, {33, 4, 100}, {48, 6, 128}, {64, 4, 257},
+};
+constexpr std::uint64_t kSeeds[] = {11, 29, 47};
+
+// ---------------------------------------------------------------------
+// Independent scalar re-implementations of the historical kernels. The
+// strict backend must match these bit for bit; they are deliberately
+// written out again here (not calls into src/linalg) so the reference
+// cannot drift together with the implementation.
+
+Matrix reference_cross_sq_dist(const Matrix& a, const Matrix& b) {
+    Matrix out(a.rows(), b.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < b.rows(); ++j) {
+            double d2 = 0.0;
+            for (std::size_t k = 0; k < a.cols(); ++k) {
+                const double diff = a(i, k) - b(j, k);
+                d2 += diff * diff;
+            }
+            out(i, j) = d2;
+        }
+    }
+    return out;
+}
+
+Matrix reference_cholesky_factor(const Matrix& a) {
+    const std::size_t n = a.rows();
+    Matrix l(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+        const double ljj = std::sqrt(diag);
+        l(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double s = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+            l(i, j) = s / ljj;
+        }
+    }
+    return l;
+}
+
+Matrix reference_rbf_from_sq_dist(Matrix d2, double sv, double ls) {
+    for (std::size_t i = 0; i < d2.rows(); ++i) {
+        for (std::size_t j = 0; j < d2.cols(); ++j) {
+            d2(i, j) = sv * linalg::fast_exp(-0.5 * d2(i, j) / (ls * ls));
+        }
+    }
+    return d2;
+}
+
+/// Naive per-column forward substitution — the semantic every
+/// solve_lower_multi implementation approximates.
+Matrix reference_solve_lower_multi(const Matrix& l, Matrix b) {
+    const std::size_t n = l.rows();
+    for (std::size_t col = 0; col < b.cols(); ++col) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double s = b(i, col);
+            for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * b(k, col);
+            b(i, col) = s / l(i, i);
+        }
+    }
+    return b;
+}
+
+}  // namespace
+
+TEST(BackendRegistry, NamesResolveAndUnknownFailsLoudly) {
+    EXPECT_EQ(linalg::backend_names(), (std::vector<std::string>{"strict", "fast"}));
+    EXPECT_EQ(linalg::strict_backend().name(), "strict");
+    EXPECT_EQ(linalg::fast_backend().name(), "fast");
+    EXPECT_EQ(&linalg::backend_by_name("strict"), &linalg::strict_backend());
+    EXPECT_EQ(&linalg::backend_by_name("fast"), &linalg::fast_backend());
+    EXPECT_TRUE(linalg::is_backend_name("fast"));
+    EXPECT_FALSE(linalg::is_backend_name("blas"));
+    try {
+        (void)linalg::backend_by_name("cuda");
+        FAIL() << "unknown backend name must throw";
+    } catch (const support::ConfigError& e) {
+        // The message must name the bad input and list the valid set.
+        EXPECT_NE(std::string(e.what()).find("cuda"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("strict, fast"), std::string::npos);
+    }
+    // Every declared strict envelope is the bitwise contract.
+    for (const Kernel k :
+         {Kernel::kCrossSqDist, Kernel::kVexp, Kernel::kRbfFromSqDist,
+          Kernel::kRbfKernel, Kernel::kCholeskyFactor, Kernel::kCholeskyExtend,
+          Kernel::kSolveLowerMulti, Kernel::kSolveLowerMultiFused}) {
+        EXPECT_TRUE(linalg::strict_backend().tolerance(k).bitwise());
+    }
+}
+
+TEST(BackendDiff, StrictMatchesHistoricalKernelsBitwise) {
+    const LinalgBackend& strict = linalg::strict_backend();
+    for (const std::uint64_t seed : kSeeds) {
+        for (const CaseShape& shape : kShapes) {
+            Rng rng(seed * 7919 + shape.n * 131 + shape.c);
+            const Matrix pts = random_points(rng, shape.n, shape.d);
+            const Matrix queries = random_matrix(rng, shape.c, shape.d, -0.5, 1.5);
+
+            const Matrix d2 = strict.cross_sq_dist(pts, queries);
+            expect_bits_equal(reference_cross_sq_dist(pts, queries), d2,
+                              "strict cross_sq_dist");
+
+            Matrix rbf = d2;
+            strict.rbf_from_sq_dist(rbf, 1.0, 0.3);
+            expect_bits_equal(reference_rbf_from_sq_dist(d2, 1.0, 0.3), rbf,
+                              "strict rbf_from_sq_dist");
+
+            const Matrix gram = gram_matrix(pts, 0.3, 1e-2);
+            const Matrix l = strict.cholesky_factor(gram);
+            expect_bits_equal(reference_cholesky_factor(gram), l,
+                              "strict cholesky_factor");
+
+            Matrix b = random_matrix(rng, shape.n, shape.c, -1.0, 1.0);
+            const Matrix expected = reference_solve_lower_multi(l, b);
+            strict.solve_lower_multi(l, b);
+            expect_bits_equal(expected, b, "strict solve_lower_multi");
+        }
+    }
+}
+
+TEST(BackendDiff, FastStaysInsideDeclaredEnvelopes) {
+    const LinalgBackend& strict = linalg::strict_backend();
+    const LinalgBackend& fast = linalg::fast_backend();
+
+    EnvelopeCheck env_cross("cross_sq_dist", fast.tolerance(Kernel::kCrossSqDist));
+    EnvelopeCheck env_vexp("vexp", fast.tolerance(Kernel::kVexp));
+    EnvelopeCheck env_rbf("rbf_from_sq_dist", fast.tolerance(Kernel::kRbfFromSqDist));
+    EnvelopeCheck env_rbfk("rbf_kernel", fast.tolerance(Kernel::kRbfKernel));
+    EnvelopeCheck env_factor("cholesky_factor", fast.tolerance(Kernel::kCholeskyFactor));
+    EnvelopeCheck env_extend("cholesky_extend", fast.tolerance(Kernel::kCholeskyExtend));
+    EnvelopeCheck env_solve("solve_lower_multi",
+                            fast.tolerance(Kernel::kSolveLowerMulti));
+    EnvelopeCheck env_fused("solve_lower_multi_fused",
+                            fast.tolerance(Kernel::kSolveLowerMultiFused));
+
+    // The GP's real hyperparameter grid plus noise levels down to the
+    // jitter-floor neighborhood; duplicate points push the gram matrix
+    // toward singularity so the hard factorizations are exercised, not
+    // just the friendly ones.
+    constexpr double kLengthscales[] = {0.15, 0.3, 0.6, 1.2};
+    constexpr double kNoises[] = {1e-1, 1e-3, 1e-8};
+
+    std::size_t total_cases = 0;
+    std::size_t case_index = 0;
+    for (const std::uint64_t seed : kSeeds) {
+        for (const CaseShape& shape : kShapes) {
+            Rng rng(seed * 6151 + shape.n * 257 + shape.d);
+            const double ls = kLengthscales[case_index % 4];
+            const double noise = kNoises[case_index % 3];
+            const std::size_t duplicate_every = case_index % 2 == 0 ? 3 : 0;
+            ++case_index;
+            const std::string ctx = "n=" + std::to_string(shape.n) +
+                                    " d=" + std::to_string(shape.d) +
+                                    " c=" + std::to_string(shape.c) +
+                                    " seed=" + std::to_string(seed);
+
+            const Matrix pts = random_points(rng, shape.n, shape.d, duplicate_every);
+            const Matrix queries = random_matrix(rng, shape.c, shape.d, -0.5, 1.5);
+
+            // cross_sq_dist
+            const Matrix d2_ref = strict.cross_sq_dist(pts, queries);
+            const Matrix d2_fast = fast.cross_sq_dist(pts, queries);
+            env_cross.compare(d2_ref, d2_fast, d2_ref.max_abs(), ctx);
+            ++total_cases;
+
+            // vexp (shared implementation: declared bitwise)
+            {
+                Vec args(shape.c);
+                for (std::size_t i = 0; i < shape.c; ++i) args[i] = rng.uniform(-40, 2);
+                if (shape.c > 2) {  // exercise the clamp edges too
+                    args[0] = -750.0;
+                    args[1] = 720.0;
+                }
+                Vec out_ref(shape.c);
+                Vec out_fast(shape.c);
+                strict.vexp(args, out_ref);
+                fast.vexp(args, out_fast);
+                env_vexp.compare(out_ref, out_fast, 1.0, ctx);
+                ++total_cases;
+            }
+
+            // rbf_from_sq_dist + scalar rbf_kernel
+            {
+                Matrix rbf_ref = d2_ref;
+                Matrix rbf_fast = d2_ref;
+                strict.rbf_from_sq_dist(rbf_ref, 1.0, ls);
+                fast.rbf_from_sq_dist(rbf_fast, 1.0, ls);
+                env_rbf.compare(rbf_ref, rbf_fast, 1.0, ctx);
+                ++total_cases;
+
+                Vec k_ref(shape.n);
+                Vec k_fast(shape.n);
+                for (std::size_t i = 0; i < shape.n; ++i) {
+                    k_ref[i] = strict.rbf_kernel(pts.row(i), queries.row(0), 1.0, ls);
+                    k_fast[i] = fast.rbf_kernel(pts.row(i), queries.row(0), 1.0, ls);
+                }
+                env_rbfk.compare(k_ref, k_fast, 1.0, ctx);
+                ++total_cases;
+            }
+
+            // cholesky factor / extend on the same gram matrix
+            const Matrix gram = gram_matrix(pts, ls, noise);
+            const Matrix l_ref = strict.cholesky_factor(gram);
+            const Matrix l_fast = fast.cholesky_factor(gram);
+            env_factor.compare(l_ref, l_fast, gram.max_abs(), ctx);
+            ++total_cases;
+
+            {
+                // Extend with a fresh point, both backends growing the
+                // SAME strict factor so the comparison isolates extend.
+                const Matrix extra = random_points(rng, 1, shape.d);
+                Vec b(shape.n);
+                for (std::size_t i = 0; i < shape.n; ++i) {
+                    b[i] = strict.rbf_kernel(pts.row(i), extra.row(0), 1.0, ls);
+                }
+                const double c =
+                    strict.rbf_kernel(extra.row(0), extra.row(0), 1.0, ls) + noise;
+                Matrix grown_ref = l_ref;
+                Matrix grown_fast = l_ref;
+                strict.cholesky_extend(grown_ref, b, c);
+                fast.cholesky_extend(grown_fast, b, c);
+                env_extend.compare(grown_ref, grown_fast, gram.max_abs(), ctx);
+                ++total_cases;
+            }
+
+            // multi-RHS solves against the same strict factor
+            {
+                const Matrix b = random_matrix(rng, shape.n, shape.c, -1.0, 1.0);
+                Matrix y_ref = b;
+                Matrix y_fast = b;
+                strict.solve_lower_multi(l_ref, y_ref);
+                fast.solve_lower_multi(l_ref, y_fast);
+                env_solve.compare(y_ref, y_fast, y_ref.max_abs(), ctx);
+                ++total_cases;
+
+                Vec weights(shape.n);
+                for (double& w : weights) w = rng.uniform(-1, 1);
+                Matrix f_ref = b;
+                Matrix f_fast = b;
+                Vec ws_ref(shape.c, 0.0);
+                Vec ws_fast(shape.c, 0.0);
+                Vec sq_ref(shape.c, 0.0);
+                Vec sq_fast(shape.c, 0.0);
+                strict.solve_lower_multi_fused(l_ref, f_ref, weights, ws_ref, sq_ref);
+                fast.solve_lower_multi_fused(l_ref, f_fast, weights, ws_fast, sq_fast);
+                env_fused.compare(f_ref, f_fast, f_ref.max_abs(), ctx);
+                double scale_ws = 0.0;
+                for (const double v : ws_ref) scale_ws = std::max(scale_ws, std::fabs(v));
+                double scale_sq = 0.0;
+                for (const double v : sq_ref) scale_sq = std::max(scale_sq, std::fabs(v));
+                env_fused.compare(ws_ref, ws_fast, scale_ws, ctx + " weighted_sums");
+                env_fused.compare(sq_ref, sq_fast, scale_sq, ctx + " sq_norms");
+                ++total_cases;
+            }
+        }
+    }
+
+    // The acceptance floor: >= 200 randomized kernel cases per backend
+    // pair, and a visible record of how much envelope headroom remains.
+    EXPECT_GE(total_cases, 200u);
+    std::printf("backend diff strict<->fast: %zu kernel cases\n", total_cases);
+    for (const EnvelopeCheck* env : {&env_cross, &env_vexp, &env_rbf, &env_rbfk,
+                                     &env_factor, &env_extend, &env_solve, &env_fused}) {
+        env->report();
+    }
+}
+
+TEST(BackendDiff, IllConditionedNearJitterFloorStaysInEnvelope) {
+    // Exact duplicate points with a noise nugget barely above the GP's
+    // scale-relative initial jitter (1e-10): the smallest pivots sit
+    // orders of magnitude below the matrix scale, which is where a
+    // re-associated factorization loses the most accuracy.
+    const LinalgBackend& strict = linalg::strict_backend();
+    const LinalgBackend& fast = linalg::fast_backend();
+    EnvelopeCheck env_factor("cholesky_factor(ill)",
+                             fast.tolerance(Kernel::kCholeskyFactor));
+    for (const std::uint64_t seed : kSeeds) {
+        Rng rng(seed * 104729);
+        const Matrix pts = random_points(rng, 32, 4, /*duplicate_every=*/2);
+        for (const double noise : {1e-6, 1e-9}) {
+            const Matrix gram = gram_matrix(pts, 0.3, noise);
+            const Matrix l_ref = strict.cholesky_factor(gram);
+            const Matrix l_fast = fast.cholesky_factor(gram);
+            env_factor.compare(l_ref, l_fast, gram.max_abs(),
+                               "noise=" + std::to_string(noise));
+        }
+    }
+    env_factor.report();
+}
+
+TEST(BackendDiff, GaussianProcessPostObservePredictionsTrackStrict) {
+    // Whole-GP composition: fit, a run of constant-liar style observe()
+    // extensions, then a batch prediction — the exact call sequence the
+    // Bayesian solver drives. Fast-backend posteriors must track strict
+    // within a composed envelope (individual kernel envelopes compound
+    // through the factorization and two triangular solves).
+    Rng rng(424243);
+    const std::size_t n = 24;
+    const std::size_t dims = 4;
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> x(dims);
+        for (double& v : x) v = rng.uniform();
+        double y = 0.0;
+        for (const double v : x) y += (v - 0.4) * (v - 0.4);
+        xs.push_back(std::move(x));
+        ys.push_back(y + rng.normal(0.0, 0.01));
+    }
+
+    solver::GaussianProcess gp_strict;
+    solver::GaussianProcess gp_fast;
+    gp_fast.set_backend(linalg::fast_backend());
+    EXPECT_EQ(gp_strict.backend().name(), "strict");
+    EXPECT_EQ(gp_fast.backend().name(), "fast");
+    gp_strict.fit(xs, ys, /*optimize=*/true);
+    gp_fast.fit(xs, ys, /*optimize=*/true);
+    // On real (non-degenerate) data the LML grid search must not flip
+    // its winner over sub-envelope kernel differences.
+    EXPECT_EQ(gp_strict.hyperparams().lengthscale, gp_fast.hyperparams().lengthscale);
+    EXPECT_EQ(gp_strict.hyperparams().noise_var, gp_fast.hyperparams().noise_var);
+
+    for (std::size_t extra = 0; extra < 8; ++extra) {
+        std::vector<double> x(dims);
+        for (double& v : x) v = rng.uniform();
+        const double lie = ys.front();
+        gp_strict.observe(x, lie);
+        gp_fast.observe(std::move(x), lie);
+    }
+
+    Matrix pool(64, dims);
+    for (std::size_t c = 0; c < pool.rows(); ++c) {
+        for (std::size_t k = 0; k < dims; ++k) pool(c, k) = rng.uniform();
+    }
+    const auto pred_strict = gp_strict.predict_batch(pool);
+    const auto pred_fast = gp_fast.predict_batch(pool);
+    ASSERT_EQ(pred_strict.size(), pred_fast.size());
+    for (std::size_t i = 0; i < pred_strict.size(); ++i) {
+        EXPECT_NEAR(pred_fast[i].mean, pred_strict[i].mean, 1e-6)
+            << "posterior mean diverged at candidate " << i;
+        EXPECT_NEAR(pred_fast[i].variance, pred_strict[i].variance, 1e-6)
+            << "posterior variance diverged at candidate " << i;
+    }
+}
+
+TEST(BackendDiffE2E, ScenarioPackOutcomesStayWithinBand) {
+    // Full closed-loop runs over the whole scenario pack, strict vs
+    // fast, same spec and seed. Sub-envelope kernel differences may in
+    // principle flip an argmax-EI pick, so outcomes are compared as a
+    // statistical band on the final best score, not bitwise.
+    for (const std::string& name : core::scenario_names()) {
+        core::ColorPickerConfig config =
+            core::apply_workcell_spec(core::ColorPickerConfig{}, core::resolve_scenario(name));
+        config.target = {140, 110, 90};
+        config.total_samples = 16;
+        config.batch_size = 4;
+        config.solver = "bayesian";
+        config.seed = 7;
+
+        config.linalg_backend = "strict";
+        core::ColorPickerApp app_strict(config);
+        const core::ExperimentOutcome strict_outcome = app_strict.run();
+
+        config.linalg_backend = "fast";
+        core::ColorPickerApp app_fast(config);
+        const core::ExperimentOutcome fast_outcome = app_fast.run();
+
+        EXPECT_EQ(strict_outcome.samples.size(), fast_outcome.samples.size())
+            << "scenario " << name;
+        // Identical proposals give identical scores; a flipped pick must
+        // still land within a few score units (full range ~441) of the
+        // strict trajectory to count as "the same experiment".
+        EXPECT_NEAR(fast_outcome.best_score, strict_outcome.best_score, 5.0)
+            << "scenario " << name;
+    }
+}

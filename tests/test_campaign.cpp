@@ -3,6 +3,9 @@
 // the campaign YAML round trip.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "campaign/campaign.hpp"
 #include "campaign/campaign_io.hpp"
 #include "campaign/report.hpp"
@@ -156,6 +159,32 @@ TEST(Campaign, SameSpecTwiceGivesByteIdenticalResults) {
     EXPECT_EQ(campaign_results_to_csv(first), campaign_results_to_csv(second));
 }
 
+TEST(Campaign, ThreadCountInvariantByteIdenticalResults) {
+    // The reproducibility contract's thread-count half: the same spec
+    // must serialize byte-identically whether cells run one at a time
+    // or fan out across every core. The bayesian cell routes the whole
+    // GP/linalg stack through the worker pool.
+    support::set_log_level(support::LogLevel::Error);
+    CampaignSpec spec = tiny_spec();
+    spec.axes.solvers = {"bayesian", "random"};
+    std::string reference;
+    const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, hw}) {
+        CampaignRunnerOptions options;
+        options.log_progress = false;
+        options.max_workers = workers;
+        const CampaignRunner runner(options);
+        const auto results = runner.run(spec);
+        const std::string doc = campaign_results_to_json(spec, results).pretty();
+        if (reference.empty()) {
+            reference = doc;
+        } else {
+            EXPECT_EQ(doc, reference) << "campaign.json diverged at max_workers="
+                                      << workers;
+        }
+    }
+}
+
 // ----------------------------------------------------------- aggregation
 
 TEST(Campaign, AggregatesGroupReplicatesAndComputeStats) {
@@ -214,6 +243,32 @@ TEST(Campaign, ResultJsonCarriesTheSharedSchema) {
     EXPECT_EQ(doc.at("cells").as_array()[0].at("result").at("schema").as_string(),
               "sdlbench.experiment_result.v2");
     EXPECT_EQ(doc.at("aggregates").size(), 1u);
+}
+
+TEST(Campaign, NonDefaultBackendIsRecordedPerCell) {
+    // A fast-backend campaign must say so in every per-cell result
+    // record; a strict campaign must omit the key entirely (so the
+    // reference documents stay byte-identical across releases).
+    support::set_log_level(support::LogLevel::Error);
+    CampaignSpec spec = tiny_spec();
+    spec.axes.solvers = {"bayesian"};
+    spec.base.linalg_backend = "fast";
+    CampaignRunnerOptions options;
+    options.log_progress = false;
+    const auto results = CampaignRunner(options).run(spec);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].cell.config.linalg_backend, "fast");
+
+    const auto doc = campaign_results_to_json(spec, results);
+    const auto& cell_result = doc.at("cells").as_array()[0].at("result");
+    ASSERT_TRUE(cell_result.contains("linalg_backend"));
+    EXPECT_EQ(cell_result.at("linalg_backend").as_string(), "fast");
+
+    spec.base.linalg_backend = "strict";
+    const auto strict_results = CampaignRunner(options).run(spec);
+    const auto strict_doc = campaign_results_to_json(spec, strict_results);
+    EXPECT_FALSE(
+        strict_doc.at("cells").as_array()[0].at("result").contains("linalg_backend"));
 }
 
 // -------------------------------------------------------------- YAML I/O

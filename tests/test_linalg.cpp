@@ -82,15 +82,27 @@ TEST(VecOps, DotAxpyNorm) {
 // --------------------------------------------------------------- cholesky
 
 namespace {
-/// Random SPD matrix A = B Bᵀ + n·I.
-Matrix random_spd(std::size_t n, Rng& rng) {
+/// Random SPD matrix A = B Bᵀ + boost·I. The default boost keeps the
+/// matrix comfortably conditioned; the property sweeps also pass tiny
+/// boosts (1e-6) so B Bᵀ's near-singular spectrum shows through and the
+/// recurrences are exercised at bad conditioning, not just good.
+Matrix random_spd(std::size_t n, Rng& rng, double boost) {
     Matrix b(n, n);
     for (std::size_t i = 0; i < n; ++i)
         for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.uniform(-1, 1);
     Matrix a = b * b.transposed();
-    a.add_diagonal(static_cast<double>(n));
+    a.add_diagonal(boost);
     return a;
 }
+Matrix random_spd(std::size_t n, Rng& rng) {
+    return random_spd(n, rng, static_cast<double>(n));
+}
+
+/// Sizes for the property sweeps: degenerate edges, primes that leave
+/// blocking/unroll tails, and solver-realistic n.
+constexpr std::size_t kPropertySizes[] = {1, 2, 3, 5, 8, 13, 17, 32, 48, 64};
+constexpr double kDiagBoosts[] = {8.0, 1e-2, 1e-6};
+constexpr std::uint64_t kPropertySeeds[] = {59, 113, 211};
 }  // namespace
 
 TEST(Cholesky, ReconstructsMatrix) {
@@ -192,61 +204,74 @@ TEST(FastMath, VexpBitwiseMatchesScalarFastExp) {
 }
 
 TEST(Cholesky, SolveLowerMultiBitwiseMatchesPerColumn) {
-    Rng rng(59);
-    for (const std::size_t n : {1u, 3u, 17u, 64u}) {
-        const Matrix a = random_spd(n, rng);
-        const Cholesky chol(a);
-        const std::size_t m = 33;
-        Matrix b(n, m);
-        for (std::size_t i = 0; i < n; ++i)
-            for (std::size_t j = 0; j < m; ++j) b(i, j) = rng.uniform(-3, 3);
+    // Property: for every size, RHS count, seed, and conditioning, the
+    // blocked multi-RHS sweep carries the exact bits of the scalar
+    // per-column forward substitution.
+    for (const std::uint64_t seed : kPropertySeeds) {
+        for (const std::size_t n : kPropertySizes) {
+            Rng rng(seed + n * 331);
+            const double boost = kDiagBoosts[(seed + n) % 3];
+            const Matrix a = random_spd(n, rng, boost);
+            const Cholesky chol(a);
+            const std::size_t m = 1 + (seed + n * 7) % 60;
+            Matrix b(n, m);
+            for (std::size_t i = 0; i < n; ++i)
+                for (std::size_t j = 0; j < m; ++j) b(i, j) = rng.uniform(-3, 3);
 
-        Matrix y = b;
-        chol.solve_lower_multi(y);
-        for (std::size_t j = 0; j < m; ++j) {
-            Vec col(n);
-            for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
-            const Vec want = chol.solve_lower(col);
-            for (std::size_t i = 0; i < n; ++i) {
-                EXPECT_EQ(y(i, j), want[i]) << "n=" << n << " col " << j << " row " << i;
+            Matrix y = b;
+            chol.solve_lower_multi(y);
+            for (std::size_t j = 0; j < m; ++j) {
+                Vec col(n);
+                for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+                const Vec want = chol.solve_lower(col);
+                for (std::size_t i = 0; i < n; ++i) {
+                    EXPECT_EQ(y(i, j), want[i])
+                        << "n=" << n << " m=" << m << " boost=" << boost << " seed="
+                        << seed << " col " << j << " row " << i;
+                }
             }
         }
     }
 }
 
 TEST(Cholesky, SolveLowerMultiFusedReductionsMatchDots) {
-    Rng rng(61);
-    const std::size_t n = 24;
-    const std::size_t m = 19;
-    const Matrix a = random_spd(n, rng);
-    const Cholesky chol(a);
-    Matrix b(n, m);
-    for (std::size_t i = 0; i < n; ++i)
-        for (std::size_t j = 0; j < m; ++j) b(i, j) = rng.uniform(-3, 3);
-    Vec weights(n);
-    for (double& w : weights) w = rng.uniform(-1, 1);
+    // Property: the fused solve+reductions path equals the unfused
+    // scalar flow — dot(b_col, weights) and dot(y_col, y_col) in
+    // ascending-index order — at every size and conditioning.
+    for (const std::size_t n : kPropertySizes) {
+        Rng rng(61 + n * 977);
+        const double boost = kDiagBoosts[n % 3];
+        const Matrix a = random_spd(n, rng, boost);
+        const Cholesky chol(a);
+        const std::size_t m = 1 + (n * 11) % 40;
+        Matrix b(n, m);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < m; ++j) b(i, j) = rng.uniform(-3, 3);
+        Vec weights(n);
+        for (double& w : weights) w = rng.uniform(-1, 1);
 
-    Matrix y = b;
-    Vec wsum(m);
-    Vec sq(m);
-    chol.solve_lower_multi_fused(y, weights, wsum, sq);
+        Matrix y = b;
+        Vec wsum(m);
+        Vec sq(m);
+        chol.solve_lower_multi_fused(y, weights, wsum, sq);
 
-    for (std::size_t j = 0; j < m; ++j) {
-        Vec col(n);
-        for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
-        const Vec solved = chol.solve_lower(col);
-        // Same bits as the scalar flow: dot(b_col, weights) and
-        // dot(y_col, y_col) in ascending-index order.
-        EXPECT_EQ(wsum[j], dot(col, weights)) << "col " << j;
-        EXPECT_EQ(sq[j], dot(solved, solved)) << "col " << j;
-        for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(y(i, j), solved[i]);
+        for (std::size_t j = 0; j < m; ++j) {
+            Vec col(n);
+            for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+            const Vec solved = chol.solve_lower(col);
+            EXPECT_EQ(wsum[j], dot(col, weights)) << "n=" << n << " col " << j;
+            EXPECT_EQ(sq[j], dot(solved, solved)) << "n=" << n << " col " << j;
+            for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(y(i, j), solved[i]);
+        }
+
+        Matrix wrong_rows(n + 1, m);
+        EXPECT_THROW(chol.solve_lower_multi(wrong_rows), sdl::support::LogicError);
+        Vec short_sums(m - 1);
+        if (m > 1) {
+            EXPECT_THROW(chol.solve_lower_multi_fused(y, weights, short_sums, sq),
+                         sdl::support::LogicError);
+        }
     }
-
-    Matrix wrong_rows(n + 1, m);
-    EXPECT_THROW(chol.solve_lower_multi(wrong_rows), sdl::support::LogicError);
-    Vec short_sums(m - 1);
-    EXPECT_THROW(chol.solve_lower_multi_fused(y, weights, short_sums, sq),
-                 sdl::support::LogicError);
 }
 
 TEST(Cholesky, ExtendMatchesFullRefactorizationBitwise) {
@@ -254,22 +279,35 @@ TEST(Cholesky, ExtendMatchesFullRefactorizationBitwise) {
     // factoring the (n+1)×(n+1) matrix from scratch, so the factors must
     // agree exactly — this is what lets the GP's incremental observe()
     // reproduce the batch refit bit for bit.
-    Rng rng(41);
-    const Matrix big = random_spd(9, rng);
-    Matrix base(8, 8);
-    for (std::size_t i = 0; i < 8; ++i)
-        for (std::size_t j = 0; j < 8; ++j) base(i, j) = big(i, j);
-    Vec b(8);
-    for (std::size_t i = 0; i < 8; ++i) b[i] = big(8, i);
+    // Property: at every base size, seed, and conditioning, a chain of
+    // three extensions lands on the exact bits of factoring the final
+    // matrix from scratch.
+    constexpr std::size_t kGrow = 3;
+    for (const std::uint64_t seed : kPropertySeeds) {
+        for (const std::size_t n : kPropertySizes) {
+            Rng rng(seed + n * 41);
+            const double boost = kDiagBoosts[(seed + n) % 3];
+            const Matrix big = random_spd(n + kGrow, rng, boost);
+            Matrix base(n, n);
+            for (std::size_t i = 0; i < n; ++i)
+                for (std::size_t j = 0; j < n; ++j) base(i, j) = big(i, j);
 
-    Cholesky incremental(base);
-    incremental.extend(b, big(8, 8));
-    const Cholesky full(big);
-    ASSERT_EQ(incremental.size(), 9u);
-    for (std::size_t i = 0; i < 9; ++i) {
-        for (std::size_t j = 0; j <= i; ++j) {
-            EXPECT_EQ(incremental.lower()(i, j), full.lower()(i, j))
-                << "L(" << i << "," << j << ")";
+            Cholesky incremental(base);
+            for (std::size_t g = 0; g < kGrow; ++g) {
+                const std::size_t grown = n + g;
+                Vec b(grown);
+                for (std::size_t i = 0; i < grown; ++i) b[i] = big(grown, i);
+                incremental.extend(b, big(grown, grown));
+            }
+            const Cholesky full(big);
+            ASSERT_EQ(incremental.size(), n + kGrow);
+            for (std::size_t i = 0; i < n + kGrow; ++i) {
+                for (std::size_t j = 0; j <= i; ++j) {
+                    EXPECT_EQ(incremental.lower()(i, j), full.lower()(i, j))
+                        << "n=" << n << " boost=" << boost << " seed=" << seed
+                        << " L(" << i << "," << j << ")";
+                }
+            }
         }
     }
 }

@@ -3,8 +3,10 @@
 // closed-loop convergence on the simulated color-mixing objective.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <thread>
 
 #include "color/mixing.hpp"
 #include "linalg/cholesky.hpp"
@@ -387,31 +389,40 @@ TEST(GaussianProcess, LmlFastPathMatchesManualComputation) {
 TEST(GaussianProcess, PredictBatchBitwiseMatchesSequentialPredict) {
     // predict_batch is the solver's hot path; its whole contract is that
     // blocking changes nothing — every entry must carry the exact bits
-    // sequential predict() produces, for fits of any size.
-    Rng rng(103);
-    for (const std::size_t n : {1u, 2u, 9u, 40u}) {
-        std::vector<std::vector<double>> xs;
-        std::vector<double> ys;
-        for (std::size_t i = 0; i < n; ++i) {
-            std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform(),
-                                  rng.uniform()};
-            ys.push_back(std::cos(2.0 * x[0]) + 0.5 * x[2] + 0.1 * rng.normal());
-            xs.push_back(std::move(x));
-        }
-        GaussianProcess gp;
-        gp.fit(xs, ys, /*optimize=*/n >= 9);
+    // sequential predict() produces. Property sweep: training-set sizes
+    // from degenerate to solver-realistic, varying query counts, several
+    // seeds, and near-duplicate training points (hard conditioning).
+    for (const std::uint64_t seed : {103u, 211u, 307u}) {
+        for (const std::size_t n : {1u, 2u, 3u, 5u, 9u, 17u, 40u, 64u}) {
+            Rng rng(seed + n * 13);
+            std::vector<std::vector<double>> xs;
+            std::vector<double> ys;
+            for (std::size_t i = 0; i < n; ++i) {
+                std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform(),
+                                      rng.uniform()};
+                // Every third point duplicates its predecessor so the
+                // kernel matrix is near-singular, not just friendly.
+                if (i % 3 == 2) x = xs.back();
+                ys.push_back(std::cos(2.0 * x[0]) + 0.5 * x[2] + 0.1 * rng.normal());
+                xs.push_back(std::move(x));
+            }
+            GaussianProcess gp;
+            gp.fit(xs, ys, /*optimize=*/n >= 9);
 
-        const std::size_t m = 57;
-        sdl::linalg::Matrix queries(m, 4);
-        for (std::size_t j = 0; j < m; ++j)
-            for (std::size_t k = 0; k < 4; ++k) queries(j, k) = rng.uniform();
+            const std::size_t m = 1 + (seed + n * 7) % 64;
+            sdl::linalg::Matrix queries(m, 4);
+            for (std::size_t j = 0; j < m; ++j)
+                for (std::size_t k = 0; k < 4; ++k) queries(j, k) = rng.uniform();
 
-        const auto batch = gp.predict_batch(queries);
-        ASSERT_EQ(batch.size(), m);
-        for (std::size_t j = 0; j < m; ++j) {
-            const auto seq = gp.predict(queries.row(j));
-            EXPECT_EQ(batch[j].mean, seq.mean) << "n=" << n << " query " << j;
-            EXPECT_EQ(batch[j].variance, seq.variance) << "n=" << n << " query " << j;
+            const auto batch = gp.predict_batch(queries);
+            ASSERT_EQ(batch.size(), m);
+            for (std::size_t j = 0; j < m; ++j) {
+                const auto seq = gp.predict(queries.row(j));
+                EXPECT_EQ(batch[j].mean, seq.mean)
+                    << "seed=" << seed << " n=" << n << " query " << j;
+                EXPECT_EQ(batch[j].variance, seq.variance)
+                    << "seed=" << seed << " n=" << n << " query " << j;
+            }
         }
     }
 }
@@ -453,6 +464,48 @@ TEST(GaussianProcess, PredictBatchValidatesShapes) {
     EXPECT_TRUE(gp.predict_batch(sdl::linalg::Matrix(0, 4)).empty());
     EXPECT_THROW(gp.predict_batch(sdl::linalg::Matrix(3, 2)),
                  sdl::support::LogicError);
+}
+
+TEST(Bayes, ScoreCandidatePoolThreadCountInvariant) {
+    // n and C sit past the parallel-dispatch threshold (n^2 * C =
+    // 524288 >= 262144, C > 64), so the chunked path genuinely runs.
+    // The worker cap must change nothing: every entry carries the exact
+    // bits of sequential predict(), at any thread count.
+    Rng rng(131);
+    const std::size_t n = 64;
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform(),
+                              rng.uniform()};
+        ys.push_back(std::sin(3.0 * x[0]) + x[1] * x[3]);
+        xs.push_back(std::move(x));
+    }
+    GaussianProcess gp;
+    gp.fit(xs, ys, /*optimize=*/false);
+
+    sdl::linalg::Matrix pool(128, 4);
+    for (std::size_t j = 0; j < pool.rows(); ++j)
+        for (std::size_t k = 0; k < 4; ++k) pool(j, k) = rng.uniform();
+
+    const auto reference = score_candidate_pool(gp, pool, /*max_workers=*/1);
+    ASSERT_EQ(reference.size(), pool.rows());
+    for (std::size_t j = 0; j < pool.rows(); ++j) {
+        const auto seq = gp.predict(pool.row(j));
+        EXPECT_EQ(reference[j].mean, seq.mean) << "candidate " << j;
+        EXPECT_EQ(reference[j].variance, seq.variance) << "candidate " << j;
+    }
+    const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    for (const std::size_t workers : {std::size_t{2}, hw, std::size_t{0}}) {
+        const auto scored = score_candidate_pool(gp, pool, workers);
+        ASSERT_EQ(scored.size(), reference.size()) << "workers=" << workers;
+        for (std::size_t j = 0; j < scored.size(); ++j) {
+            EXPECT_EQ(scored[j].mean, reference[j].mean)
+                << "workers=" << workers << " candidate " << j;
+            EXPECT_EQ(scored[j].variance, reference[j].variance)
+                << "workers=" << workers << " candidate " << j;
+        }
+    }
 }
 
 TEST(Bayes, SeedPairedRunsReproduceUnderBatching) {

@@ -19,13 +19,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
 
 def numeric_leaves(node, path=""):
     """Yields (path, value) for every numeric leaf; list items are keyed
     by a stable label (scenario / n+candidates) when present, falling
-    back to the index."""
+    back to the index. ``null`` leaves are yielded as ``None`` so the
+    caller can reject a gated metric that lost its value instead of
+    silently dropping it from the comparison."""
     if isinstance(node, dict):
         for key, value in node.items():
             yield from numeric_leaves(value, f"{path}.{key}" if path else key)
@@ -40,6 +43,8 @@ def numeric_leaves(node, path=""):
             yield from numeric_leaves(item, f"{path}[{label}]")
     elif isinstance(node, (int, float)) and not isinstance(node, bool):
         yield path, float(node)
+    elif node is None:
+        yield path, None
 
 
 def direction(path):
@@ -52,7 +57,7 @@ def direction(path):
     return None
 
 
-def main():
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True, help="committed baseline JSON")
     parser.add_argument("--current", required=True, help="freshly produced JSON")
@@ -86,7 +91,7 @@ def main():
             "noise-bound ratio with too little margin for a hard gate)"
         ),
     )
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     with open(args.baseline, encoding="utf-8") as f:
         baseline = dict(numeric_leaves(json.load(f)))
@@ -100,12 +105,25 @@ def main():
             return False
         return not any(sub in path for sub in args.exclude)
 
+    # A gated metric that is null, NaN, or infinite cannot be compared
+    # — and every float comparison against NaN is False, so without this
+    # check a NaN run would sail through the gate. Name each bad metric
+    # and fail instead.
+    invalid = []
+    for doc_name, doc in (("baseline", baseline), ("current", current)):
+        for path in sorted(doc):
+            value = doc[path]
+            if in_scope(path) and (value is None or not math.isfinite(value)):
+                invalid.append((doc_name, path, value))
+    bad_paths = {path for _, path, _ in invalid}
+
     regressions = []
     improvements = 0
     compared = 0
     for path, base_value in sorted(baseline.items()):
         sense = direction(path)
-        if not in_scope(path) or path not in current or base_value == 0:
+        if (not in_scope(path) or path in bad_paths or path not in current
+                or base_value == 0):
             continue
         compared += 1
         cur_value = current[path]
@@ -126,6 +144,10 @@ def main():
         f"{improvements} improved, {len(regressions)} regressed "
         f"beyond {args.tolerance:.0f}%"
     )
+    for doc_name, path, value in invalid:
+        shown = "null" if value is None else repr(value)
+        print(f"  INVALID {doc_name} value for {path}: {shown} "
+              "(gated metrics must be finite numbers)")
     for path in missing:
         print(f"  warning: metric disappeared: {path}")
     for path in added:
@@ -137,6 +159,10 @@ def main():
         )
 
     if not args.warn_only:
+        if invalid:
+            print("bench_compare: FAIL — gated metrics with null/NaN/inf "
+                  "values (see INVALID lines above)")
+            return 1
         # A gate that compares nothing gates nothing: schema renames,
         # an empty/partial current file, or a typoed --only must fail
         # loudly instead of passing vacuously.
@@ -155,7 +181,7 @@ def main():
                 "(docs/BENCHMARKS.md) or fix the regression."
             )
             return 1
-    if regressions or missing:
+    if regressions or missing or invalid:
         print("bench_compare: problems reported as warnings (--warn-only)")
     else:
         print("bench_compare: OK")
