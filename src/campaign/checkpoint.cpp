@@ -294,6 +294,75 @@ std::size_t journal_progress(const std::string& path,
     }
 }
 
+Shard validate_journal_header(const std::string& line, const CampaignSpec& spec,
+                              std::size_t grid_cells, const std::string& path) {
+    json::Value header;
+    try {
+        header = json::parse(line);
+    } catch (const support::Error& e) {
+        reject(path, std::string("corrupt header record: ") + e.what());
+    }
+    if (header.get_or("schema", std::string()) != kJournalSchema) {
+        reject(path, "unexpected header schema '" +
+                         header.get_or("schema", std::string("<missing>")) +
+                         "' (expected " + std::string(kJournalSchema) + ")");
+    }
+    const std::string expected_digest = spec_digest(spec);
+    const std::string found_digest = header.get_or("spec_digest", std::string());
+    if (found_digest != expected_digest) {
+        reject(path, "spec digest mismatch: journal was written for spec " +
+                         found_digest + ", but this campaign file digests to " +
+                         expected_digest +
+                         " — resuming/merging across different specs is not allowed");
+    }
+    const auto cells_total =
+        static_cast<std::size_t>(header.get_or("cells_total", std::int64_t{0}));
+    if (cells_total != grid_cells) {
+        reject(path, "cell count mismatch: journal expects " +
+                         std::to_string(cells_total) + " cells, grid expands to " +
+                         std::to_string(grid_cells));
+    }
+    Shard shard;
+    shard.index = static_cast<std::size_t>(header.get_or("shard_index", std::int64_t{0}));
+    shard.count = static_cast<std::size_t>(header.get_or("shard_count", std::int64_t{1}));
+    if (shard.count == 0 || shard.index >= shard.count) {
+        reject(path, "invalid shard " + std::to_string(shard.index) + "/" +
+                         std::to_string(shard.count) + " in header");
+    }
+    return shard;
+}
+
+CellResult parse_cell_record(const std::string& line,
+                             const std::vector<CampaignCell>& grid,
+                             const std::string& path) {
+    const json::Value record = json::parse(line);  // throws on corrupt JSON
+    if (record.get_or("schema", std::string()) != kCellRecordSchema) {
+        reject(path, "unexpected record schema '" +
+                         record.get_or("schema", std::string("<missing>")) + "'");
+    }
+    const auto index = static_cast<std::size_t>(record.at("cell_index").as_int());
+    if (index >= grid.size()) {
+        reject(path, "cell index " + std::to_string(index) + " out of range (grid has " +
+                         std::to_string(grid.size()) + " cells)");
+    }
+    const CampaignCell& cell = grid[index];
+    const std::string digest = record.at("config_digest").as_string();
+    if (digest != cell_digest(cell)) {
+        reject(path, "cell " + std::to_string(index) + " config digest mismatch (journal " +
+                         digest + ", re-expanded grid " + cell_digest(cell) + ")");
+    }
+    const std::string id = record.at("experiment_id").as_string();
+    if (id != cell.config.experiment_id) {
+        reject(path, "cell " + std::to_string(index) + " experiment id mismatch ('" + id +
+                         "' vs '" + cell.config.experiment_id + "')");
+    }
+    CellResult result;
+    result.cell = cell;
+    result.outcome = outcome_from_json(record.at("outcome"));
+    result.wall_seconds = record.get_or("wall_seconds", 0.0);
+    return result;
+}
+
 LoadedJournal load_journal(const std::string& path, const CampaignSpec& spec,
                            const std::vector<CampaignCell>& grid) {
     std::ifstream file(path, std::ios::binary);
@@ -323,55 +392,15 @@ LoadedJournal load_journal(const std::string& path, const CampaignSpec& spec,
                            "checkpointing anything; start fresh without --resume");
     }
 
-    json::Value header;
-    try {
-        header = json::parse(lines.front());
-    } catch (const support::Error& e) {
-        reject(path, std::string("corrupt header record: ") + e.what());
-    }
-    if (header.get_or("schema", std::string()) != kJournalSchema) {
-        reject(path, "unexpected header schema '" +
-                         header.get_or("schema", std::string("<missing>")) +
-                         "' (expected " + std::string(kJournalSchema) + ")");
-    }
-    const std::string expected_digest = spec_digest(spec);
-    const std::string found_digest = header.get_or("spec_digest", std::string());
-    if (found_digest != expected_digest) {
-        reject(path, "spec digest mismatch: journal was written for spec " +
-                         found_digest + ", but this campaign file digests to " +
-                         expected_digest +
-                         " — resuming/merging across different specs is not allowed");
-    }
     LoadedJournal loaded;
-    loaded.cells_total =
-        static_cast<std::size_t>(header.get_or("cells_total", std::int64_t{0}));
-    if (loaded.cells_total != grid.size()) {
-        reject(path, "cell count mismatch: journal expects " +
-                         std::to_string(loaded.cells_total) + " cells, grid expands to " +
-                         std::to_string(grid.size()));
-    }
-    loaded.shard.index =
-        static_cast<std::size_t>(header.get_or("shard_index", std::int64_t{0}));
-    loaded.shard.count =
-        static_cast<std::size_t>(header.get_or("shard_count", std::int64_t{1}));
-    if (loaded.shard.count == 0 || loaded.shard.index >= loaded.shard.count) {
-        reject(path, "invalid shard " + std::to_string(loaded.shard.index) + "/" +
-                         std::to_string(loaded.shard.count) + " in header");
-    }
+    loaded.shard = validate_journal_header(lines.front(), spec, grid.size(), path);
+    loaded.cells_total = grid.size();
     loaded.lines.push_back(lines.front());
 
     std::vector<bool> seen(grid.size(), false);
     const auto load_record = [&](const std::string& line) {
-        const json::Value record = json::parse(line);  // throws on corrupt JSON
-        if (record.get_or("schema", std::string()) != kCellRecordSchema) {
-            reject(path, "unexpected record schema '" +
-                             record.get_or("schema", std::string("<missing>")) + "'");
-        }
-        const auto index = static_cast<std::size_t>(record.at("cell_index").as_int());
-        if (index >= grid.size()) {
-            reject(path, "cell index " + std::to_string(index) + " out of range (grid has " +
-                             std::to_string(grid.size()) + " cells)");
-        }
+        CellResult result = parse_cell_record(line, grid, path);
+        const std::size_t index = result.cell.index;
         if (!loaded.shard.contains(index)) {
             reject(path, "cell " + std::to_string(index) + " does not belong to shard " +
                              loaded.shard.str());
@@ -379,22 +408,6 @@ LoadedJournal load_journal(const std::string& path, const CampaignSpec& spec,
         if (seen[index]) {
             reject(path, "cell " + std::to_string(index) + " recorded twice");
         }
-        const CampaignCell& cell = grid[index];
-        const std::string digest = record.at("config_digest").as_string();
-        if (digest != cell_digest(cell)) {
-            reject(path, "cell " + std::to_string(index) +
-                             " config digest mismatch (journal " + digest +
-                             ", re-expanded grid " + cell_digest(cell) + ")");
-        }
-        const std::string id = record.at("experiment_id").as_string();
-        if (id != cell.config.experiment_id) {
-            reject(path, "cell " + std::to_string(index) + " experiment id mismatch ('" +
-                             id + "' vs '" + cell.config.experiment_id + "')");
-        }
-        CellResult result;
-        result.cell = cell;
-        result.outcome = outcome_from_json(record.at("outcome"));
-        result.wall_seconds = record.get_or("wall_seconds", 0.0);
         seen[index] = true;
         loaded.cells.push_back(std::move(result));
         loaded.lines.push_back(line);

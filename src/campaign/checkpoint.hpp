@@ -109,6 +109,27 @@ struct LoadedJournal {
     std::vector<std::string> lines;
 };
 
+/// Parses and validates a journal header line against `spec` (schema +
+/// spec digest) and the expanded grid size; returns the journal's shard.
+/// Throws ConfigError naming `path` on any mismatch. The header half of
+/// load_journal, exposed for incremental readers (the fleet coordinator
+/// tails worker journals line by line as acks arrive).
+[[nodiscard]] Shard validate_journal_header(const std::string& line,
+                                            const CampaignSpec& spec,
+                                            std::size_t grid_cells,
+                                            const std::string& path);
+
+/// Parses and validates one cell record line against the re-expanded
+/// grid: record schema, cell index range, per-cell config digest, and
+/// experiment id must all match. Throws ConfigError naming `path` on a
+/// validation failure and Error("json") on corrupt JSON. Duplicate and
+/// shard-membership checks remain the caller's (they need cross-record
+/// state). The record half of load_journal, exposed for the same
+/// incremental readers.
+[[nodiscard]] CellResult parse_cell_record(const std::string& line,
+                                           const std::vector<CampaignCell>& grid,
+                                           const std::string& path);
+
 /// Number of cell records in the journal at `path` IF it belongs to
 /// `spec` (header parses, spec digest matches) and is an *incomplete*
 /// run — i.e. progress a fresh run would destroy; 0 otherwise. A

@@ -1,0 +1,590 @@
+#include "campaign/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "campaign/campaign_io.hpp"
+#include "campaign/checkpoint.hpp"
+#include "campaign/cost_model.hpp"
+#include "campaign/lease.hpp"
+#include "campaign/report.hpp"
+#include "core/colorpicker.hpp"
+#include "support/atomic_io.hpp"
+#include "support/channel.hpp"
+#include "support/common.hpp"
+#include "support/subprocess.hpp"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace sdl::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Splits on single spaces; strict (no empty tokens) so a malformed
+/// frame never half-parses.
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> tokens;
+    std::size_t start = 0;
+    while (start <= line.size()) {
+        const std::size_t space = line.find(' ', start);
+        if (space == std::string::npos) {
+            tokens.push_back(line.substr(start));
+            break;
+        }
+        tokens.push_back(line.substr(start, space - start));
+        start = space + 1;
+    }
+    return tokens;
+}
+
+std::optional<std::size_t> parse_index(const std::string& token) {
+    if (token.empty() || token.size() > 18) return std::nullopt;
+    std::size_t value = 0;
+    for (const char c : token) {
+        if (c < '0' || c > '9') return std::nullopt;
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    return value;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- protocol
+
+std::optional<WorkerMessage> parse_worker_line(const std::string& line) {
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) return std::nullopt;
+    WorkerMessage msg;
+    if (tokens[0] == "beat" && tokens.size() == 1) {
+        msg.kind = WorkerMsgKind::Beat;
+        return msg;
+    }
+    if (tokens[0] == "hello" && tokens.size() == 2) {
+        const auto pid = parse_index(tokens[1]);
+        if (!pid) return std::nullopt;
+        msg.kind = WorkerMsgKind::Hello;
+        msg.pid = static_cast<long>(*pid);
+        return msg;
+    }
+    if (tokens[0] == "ack" && tokens.size() == 2) {
+        const auto cell = parse_index(tokens[1]);
+        if (!cell) return std::nullopt;
+        msg.kind = WorkerMsgKind::Ack;
+        msg.cell = *cell;
+        return msg;
+    }
+    return std::nullopt;
+}
+
+std::optional<CoordMessage> parse_coordinator_line(const std::string& line) {
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) return std::nullopt;
+    CoordMessage msg;
+    if (tokens[0] == "stop" && tokens.size() == 1) {
+        msg.kind = CoordMsgKind::Stop;
+        return msg;
+    }
+    if (tokens[0] == "lease" && tokens.size() >= 2) {
+        msg.kind = CoordMsgKind::Lease;
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+            const auto cell = parse_index(tokens[i]);
+            if (!cell) return std::nullopt;
+            msg.cells.push_back(*cell);
+        }
+        return msg;
+    }
+    return std::nullopt;
+}
+
+std::string format_hello(long pid) { return "hello " + std::to_string(pid); }
+std::string format_beat() { return "beat"; }
+std::string format_ack(std::size_t cell) { return "ack " + std::to_string(cell); }
+
+std::string format_lease(const std::vector<std::size_t>& cells) {
+    support::check(!cells.empty(), "a lease must carry at least one cell");
+    std::string line = "lease";
+    for (const std::size_t cell : cells) {
+        line += ' ';
+        line += std::to_string(cell);
+    }
+    return line;
+}
+
+std::string format_stop() { return "stop"; }
+
+// ------------------------------------------------------------ coordinator
+
+namespace {
+
+struct WorkerState {
+    int id = 0;
+    std::string dir;
+    support::ChildProcess proc;
+    support::LineBuffer lines;
+    Clock::time_point last_heard;
+    std::size_t journal_offset = 0;
+    bool header_seen = false;
+    bool hello_seen = false;
+    bool alive = false;
+    bool send_failed = false;
+};
+
+std::string fmt_seconds(double s) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", s);
+    return buf;
+}
+
+}  // namespace
+
+FleetResult run_fleet(const std::string& spec_path, const std::string& out_dir,
+                      const FleetOptions& options) {
+    support::ignore_sigpipe();
+    support::check(!options.worker_exe.empty(), "FleetOptions.worker_exe must be set");
+
+    CampaignSpec spec = campaign_from_file(spec_path);
+    if (!options.backend.empty()) spec.base.linalg_backend = options.backend;
+    const std::vector<CampaignCell> grid = expand_grid(spec);
+    const std::string digest = spec_digest(spec);
+
+    // Same refusal as sdlbench_run: an incomplete journal for this very
+    // spec in out_dir is a crashed run's progress; the fleet has no
+    // resume mode (yet), so make the operator decide, don't truncate.
+    const std::size_t progress = journal_progress(journal_path(out_dir), spec);
+    if (progress > 0) {
+        throw support::ConfigError(
+            "'" + out_dir + "' already holds a journal with " + std::to_string(progress) +
+            " completed cell(s) for this campaign — resume it with `sdlbench_run "
+            "--campaign ... --resume " + out_dir + "`, or delete " +
+            journal_path(out_dir) + " to start over");
+    }
+    std::filesystem::create_directories(out_dir);
+
+    const std::size_t n_workers =
+        std::min(std::max<std::size_t>(1, options.workers), grid.size());
+    std::size_t threads = options.worker_threads;
+    if (threads == 0) {
+        // Disjoint core budgets: divide the host instead of letting every
+        // worker's in-process pool claim all of it.
+        const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+        threads = std::max<std::size_t>(1, hw / n_workers);
+    }
+
+    LeaseTable table(grid.size(), schedule_order(grid));
+    std::vector<std::optional<CellResult>> results(grid.size());
+    FleetSummary summary;
+    summary.cells = grid.size();
+    summary.workers_started = n_workers;
+
+    if (options.log_progress) {
+        std::printf("Fleet: %zu cells on %zu workers (%zu threads each), "
+                    "cost-ordered leases\n",
+                    grid.size(), n_workers, threads);
+    }
+
+    const auto start_time = Clock::now();
+    std::vector<WorkerState> workers(n_workers);
+    for (std::size_t i = 0; i < n_workers; ++i) {
+        WorkerState& w = workers[i];
+        w.id = static_cast<int>(i);
+        w.dir = out_dir + "/workers/w" + std::to_string(i);
+        std::filesystem::create_directories(w.dir);
+        // A stale journal from a previous fleet run must not be tailed
+        // before the fresh worker truncates it.
+        std::filesystem::remove(journal_path(w.dir));
+
+        std::vector<std::string> argv = {
+            options.worker_exe, "--worker",
+            "--campaign", spec_path,
+            "--dir", w.dir,
+            "--expect-digest", digest,
+            "--heartbeat-interval", fmt_seconds(options.heartbeat_interval_s)};
+        if (!options.backend.empty()) {
+            argv.push_back("--backend");
+            argv.push_back(options.backend);
+        }
+        if (options.chaos_kill_worker == static_cast<int>(i) &&
+            options.chaos_kill_after > 0) {
+            argv.push_back("--chaos-after");
+            argv.push_back(std::to_string(options.chaos_kill_after));
+        }
+        w.proc = support::spawn_child(
+            argv, {"SDLBENCH_WORKERS=" + std::to_string(threads)});
+        w.alive = true;
+        w.last_heard = Clock::now();
+    }
+
+    std::size_t alive_count = n_workers;
+    std::size_t since_merge = 0;
+
+    const auto collect_results = [&] {
+        std::vector<CellResult> collected;
+        collected.reserve(table.done_count());
+        for (const auto& r : results) {
+            if (r) collected.push_back(*r);
+        }
+        return collected;
+    };
+
+    // Tails the worker's journal from the last consumed offset; every
+    // complete new line is validated and folded into the result set.
+    // Returns the number of records consumed. Throws loudly on digest
+    // mismatches and on duplicates (LeaseTable::complete).
+    const auto drain_journal = [&](WorkerState& w) -> std::size_t {
+        const std::string path = journal_path(w.dir);
+        std::ifstream file(path, std::ios::binary);
+        if (!file) return 0;
+        file.seekg(0, std::ios::end);
+        const auto size = static_cast<std::size_t>(file.tellg());
+        if (size <= w.journal_offset) return 0;
+        file.seekg(static_cast<std::streamoff>(w.journal_offset));
+        std::string chunk(size - w.journal_offset, '\0');
+        file.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+
+        std::size_t consumed = 0;
+        std::size_t records = 0;
+        std::size_t start = 0;
+        for (;;) {
+            const std::size_t nl = chunk.find('\n', start);
+            if (nl == std::string::npos) break;  // torn tail: wait for more
+            const std::string line = chunk.substr(start, nl - start);
+            start = nl + 1;
+            consumed = start;
+            if (!w.header_seen) {
+                (void)validate_journal_header(line, spec, grid.size(), path);
+                w.header_seen = true;
+                continue;
+            }
+            CellResult record = parse_cell_record(line, grid, path);
+            const std::size_t index = record.cell.index;
+            table.complete(index);  // throws if any worker already did this cell
+            summary.busy_s += record.wall_seconds;
+            if (options.log_progress) {
+                std::printf("  [%zu/%zu] %s best=%.2f (w%d, %.1fs)\n",
+                            table.done_count(), grid.size(),
+                            record.cell.config.experiment_id.c_str(),
+                            record.outcome.best_score, w.id, record.wall_seconds);
+            }
+            results[index] = std::move(record);
+            ++records;
+            ++since_merge;
+        }
+        w.journal_offset += consumed;
+        return records;
+    };
+
+    const auto grant_to = [&](WorkerState& w) {
+        const std::size_t size = table.suggested_lease(alive_count, options.max_lease);
+        if (size == 0) return;
+        const std::vector<std::size_t> lease = table.grant(w.id, size);
+        if (lease.empty()) return;
+        if (!support::write_line_fd(w.proc.stdin_fd(), format_lease(lease))) {
+            w.send_failed = true;  // death handled by the main loop
+        }
+    };
+
+    const auto handle_death = [&](WorkerState& w, const char* why) {
+        if (!w.alive) return;
+        // Kill unconditionally: a merely-hung worker that woke up later
+        // could journal a cell the table has meanwhile re-leased.
+        support::kill_hard(w.proc);
+        (void)support::wait_exit(w.proc);
+        // The journal tail is the dead worker's last word: everything
+        // durably appended (acked or not) is salvaged, never recomputed.
+        const std::size_t salvaged = drain_journal(w);
+        w.proc.close_pipes();
+        w.alive = false;
+        --alive_count;
+        const std::vector<std::size_t> revoked = table.revoke(w.id);
+        ++summary.workers_lost;
+        summary.cells_salvaged += salvaged;
+        summary.cells_releases += revoked.size();
+        std::fprintf(stderr,
+                     "fleet: worker w%d lost (%s): salvaged %zu journaled cell(s), "
+                     "re-leasing %zu\n",
+                     w.id, why, salvaged, revoked.size());
+    };
+
+    while (!table.all_done()) {
+        if (alive_count == 0) {
+            throw support::Error(
+                "fleet", "all " + std::to_string(n_workers) + " workers died with " +
+                             std::to_string(grid.size() - table.done_count()) +
+                             " cell(s) incomplete — worker journals remain under '" +
+                             out_dir + "/workers/' for inspection");
+        }
+
+        // Poll until the next heartbeat deadline (bounded so revocation
+        // and timeout checks stay responsive).
+        std::vector<int> fds(workers.size(), -1);
+        int timeout_ms = 500;
+        const auto now = Clock::now();
+        for (const WorkerState& w : workers) {
+            if (!w.alive) continue;
+            fds[static_cast<std::size_t>(w.id)] = w.proc.stdout_fd();
+            const double remaining =
+                options.heartbeat_timeout_s -
+                std::chrono::duration<double>(now - w.last_heard).count();
+            timeout_ms = std::min(timeout_ms, static_cast<int>(remaining * 1000.0));
+        }
+        timeout_ms = std::max(timeout_ms, 20);
+        const std::vector<bool> readable = support::poll_readable(fds, timeout_ms);
+
+        for (WorkerState& w : workers) {
+            if (!w.alive || !readable[static_cast<std::size_t>(w.id)]) continue;
+            const long n = support::read_some(w.proc.stdout_fd(), w.lines);
+            bool protocol_error = false;
+            while (auto line = w.lines.next_line()) {
+                const auto msg = parse_worker_line(*line);
+                if (!msg) {
+                    std::fprintf(stderr, "fleet: worker w%d sent garbage '%s'\n", w.id,
+                                 line->c_str());
+                    protocol_error = true;
+                    break;
+                }
+                w.last_heard = Clock::now();
+                switch (msg->kind) {
+                    case WorkerMsgKind::Hello:
+                        if (!w.hello_seen) {
+                            w.hello_seen = true;
+                            grant_to(w);
+                        }
+                        break;
+                    case WorkerMsgKind::Beat:
+                        break;
+                    case WorkerMsgKind::Ack:
+                        // The payload travels through the journal, not
+                        // the pipe; the ack is the read barrier.
+                        (void)drain_journal(w);
+                        // Pipelined refill: keep one cell queued behind
+                        // the one running, sized down as the queue
+                        // drains (this is the work-stealing).
+                        if (table.outstanding(w.id) <= 1) grant_to(w);
+                        break;
+                }
+            }
+            if (protocol_error || n <= 0) {
+                handle_death(w, protocol_error ? "protocol error" : "pipe closed");
+            }
+        }
+
+        // Deferred deaths (lease writes that hit a closed pipe).
+        for (WorkerState& w : workers) {
+            if (w.alive && w.send_failed) handle_death(w, "lease write failed");
+        }
+        // Hung workers: no hello/beat/ack inside the timeout window.
+        const auto after = Clock::now();
+        for (WorkerState& w : workers) {
+            if (w.alive &&
+                std::chrono::duration<double>(after - w.last_heard).count() >
+                    options.heartbeat_timeout_s) {
+                handle_death(w, "heartbeat timeout");
+            }
+        }
+        // Revocation or an earlier empty queue can leave live workers
+        // idle while cells are pending — top them up.
+        for (WorkerState& w : workers) {
+            if (w.alive && w.hello_seen && !w.send_failed &&
+                table.outstanding(w.id) == 0) {
+                grant_to(w);
+            }
+        }
+
+        // Live merge: aggregates stay current while the fleet runs.
+        if (since_merge >= options.merge_every && !table.all_done()) {
+            since_merge = 0;
+            write_campaign_outputs(out_dir, spec, collect_results());
+        }
+    }
+
+    // Final merge from index-sorted results — the exact bytes of a
+    // single-process uninterrupted run — plus the fused whole-grid
+    // journal, so the fleet directory is resumable/mergeable like any
+    // other campaign directory.
+    std::vector<CellResult> final_results;
+    final_results.reserve(grid.size());
+    for (auto& r : results) final_results.push_back(std::move(*r));
+    write_campaign_outputs(out_dir, spec, final_results);
+    std::string journal_text = journal_header(spec, grid.size(), Shard{}).dump() + "\n";
+    for (const CellResult& result : final_results) {
+        journal_text += cell_record_to_json(result).dump();
+        journal_text += '\n';
+    }
+    support::atomic_write(journal_path(out_dir), journal_text);
+
+    for (WorkerState& w : workers) {
+        if (!w.alive) continue;
+        (void)support::write_line_fd(w.proc.stdin_fd(), format_stop());
+        w.proc.close_stdin();  // reader thread EOF: the worker exits cleanly
+    }
+    for (WorkerState& w : workers) {
+        if (!w.alive) continue;
+        (void)support::wait_exit(w.proc);
+        w.proc.close_pipes();
+        w.alive = false;
+    }
+
+    summary.makespan_s = seconds_since(start_time);
+    if (summary.makespan_s > 0.0 && summary.workers_started > 0) {
+        summary.efficiency =
+            summary.busy_s /
+            (summary.makespan_s * static_cast<double>(summary.workers_started));
+    }
+    return FleetResult{summary, std::move(final_results)};
+}
+
+// ----------------------------------------------------------------- worker
+
+int run_fleet_worker(const FleetWorkerOptions& options) {
+    support::ignore_sigpipe();
+
+    CampaignSpec spec = campaign_from_file(options.campaign_path);
+    if (!options.backend.empty()) spec.base.linalg_backend = options.backend;
+    const std::string digest = spec_digest(spec);
+    if (!options.expect_digest.empty() && digest != options.expect_digest) {
+        std::fprintf(stderr,
+                     "fleet worker: spec digest mismatch (coordinator %s, local %s) — "
+                     "coordinator and worker must see the same campaign file\n",
+                     options.expect_digest.c_str(), digest.c_str());
+        return 3;
+    }
+    const std::vector<CampaignCell> grid = expand_grid(spec);
+    std::filesystem::create_directories(options.dir);
+    // Whole-grid header: a worker may journal any subset of the grid, so
+    // its journal is not a round-robin shard — Shard{} (1/1) makes every
+    // cell index a member and load_journal/merge_journals validate it
+    // like any other journal.
+    CheckpointJournal journal(options.dir, spec, grid.size(), Shard{});
+
+    // stdout carries the protocol; acks (main thread) and beats
+    // (heartbeat thread) must not interleave mid-line.
+    std::mutex out_mutex;
+    const auto send = [&out_mutex](const std::string& line) {
+        std::lock_guard lock(out_mutex);
+        return support::write_line_fd(1, line);
+    };
+
+    // The reader thread owns stdin; the channel hands lines to the main
+    // loop. Shared ownership lets the thread be detached safely on the
+    // rare early-exit paths where stdin never reaches EOF.
+    auto inbox = std::make_shared<support::Channel<std::string>>();
+    std::thread reader([inbox] {
+        std::string line;
+        while (std::getline(std::cin, line)) {
+            if (!inbox->send(line)) return;
+        }
+        inbox->close();  // coordinator closed our stdin (stop or death)
+    });
+    reader.detach();
+
+    std::atomic<bool> stopping{false};
+    std::mutex hb_mutex;
+    std::condition_variable hb_cv;
+    std::thread heartbeat([&] {
+        std::unique_lock lock(hb_mutex);
+        const auto interval = std::chrono::duration<double>(
+            std::max(0.05, options.heartbeat_interval_s));
+        while (!hb_cv.wait_for(lock, interval, [&] { return stopping.load(); })) {
+            if (!send(format_beat())) return;  // coordinator gone
+        }
+    });
+
+    int exit_code = 0;
+    std::deque<std::size_t> queue;
+    bool stop = false;
+    std::size_t appended = 0;
+
+#if !defined(_WIN32)
+    (void)send(format_hello(static_cast<long>(::getpid())));
+#else
+    (void)send(format_hello(0));
+#endif
+
+    const auto handle = [&](const std::string& line) {
+        const auto msg = parse_coordinator_line(line);
+        if (!msg) {
+            std::fprintf(stderr, "fleet worker: bad coordinator line '%s'\n",
+                         line.c_str());
+            stop = true;
+            exit_code = 4;
+            return;
+        }
+        if (msg->kind == CoordMsgKind::Stop) {
+            stop = true;
+            return;
+        }
+        for (const std::size_t cell : msg->cells) {
+            if (cell >= grid.size()) {
+                std::fprintf(stderr, "fleet worker: leased cell %zu out of range\n",
+                             cell);
+                stop = true;
+                exit_code = 4;
+                return;
+            }
+            queue.push_back(cell);
+        }
+    };
+
+    while (!stop) {
+        if (queue.empty()) {
+            // Idle: block for the next lease (heartbeats keep flowing
+            // from the side thread).
+            const auto line = inbox->receive();
+            if (!line) break;  // EOF: coordinator is gone
+            handle(*line);
+        }
+        while (!stop) {
+            const auto line = inbox->try_receive();
+            if (!line) break;
+            handle(*line);
+        }
+        if (stop || queue.empty()) continue;
+
+        const std::size_t cell = queue.front();
+        queue.pop_front();
+        const auto started = Clock::now();
+        CellResult result;
+        result.cell = grid[cell];
+        result.outcome = core::ColorPickerApp(result.cell.config).run();
+        result.wall_seconds = seconds_since(started);
+        journal.append(result);  // durable (fdatasync) before the ack
+        ++appended;
+#if !defined(_WIN32)
+        if (options.chaos_kill_after > 0 && appended >= options.chaos_kill_after) {
+            // Crash-recovery drill: die the hard way — record durable,
+            // ack never sent. SIGKILL is uncatchable, so no destructor
+            // or flush can soften the crash.
+            (void)std::raise(SIGKILL);
+        }
+#endif
+        if (!send(format_ack(cell))) break;  // coordinator is gone
+    }
+
+    stopping.store(true);
+    hb_cv.notify_all();
+    heartbeat.join();
+    return exit_code;
+}
+
+}  // namespace sdl::campaign

@@ -1,0 +1,153 @@
+// Fleet execution: a work-stealing multi-process campaign orchestrator
+// with live merge.
+//
+// One coordinator process expands the grid once, orders cells by the
+// cost model (cost_model.hpp, longest-expected-first), and leases slices
+// of that order to N worker processes over a line protocol on the
+// workers' stdin/stdout pipes (support/subprocess.hpp):
+//
+//   worker -> coordinator:  "hello <pid>"   ready, lease me work
+//                           "beat"          heartbeat (side thread)
+//                           "ack <cell>"    cell journaled durably
+//   coordinator -> worker:  "lease <cell> [<cell>...]"
+//                           "stop"          drain and exit
+//
+// Every worker appends finished cells to its own digest-validated
+// journal (campaign/checkpoint.hpp, whole-grid header) and sends "ack"
+// only after the fdatasync'd append — so the ack means "this result
+// survives my death". The coordinator tails worker journals as acks
+// arrive (the journal, not the pipe, carries result payloads: one
+// source of truth) and merges continuously — campaign.json/campaign.csv
+// are rewritten atomically during the run, so aggregates are live.
+//
+// Dynamic balance instead of static shards: leases are dealt off the
+// front of the remaining cost-ordered queue and shrink adaptively
+// (LeaseTable::suggested_lease), so fast workers drain the queue while
+// a straggler holds at most one running and one queued cell. A worker
+// that goes quiet past the heartbeat timeout is SIGKILLed (it must not
+// be allowed to journal a re-leased cell later); on EOF or kill the
+// coordinator reads the dead worker's journal tail — acknowledged AND
+// journaled-but-unacked cells are salvaged, never recomputed — and
+// returns only the truly incomplete cells to the queue front.
+//
+// Determinism: a cell's outcome depends only on its resolved config,
+// execution order is decoupled from result order, and the final report
+// is written from index-sorted results — so campaign.json is
+// byte-identical to a single-process uninterrupted run, including when
+// workers are SIGKILLed mid-campaign. Duplicates stay loud end to end
+// (LeaseTable::complete throws on a twice-completed cell).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/runner.hpp"
+
+namespace sdl::campaign {
+
+// --------------------------------------------------------------- protocol
+
+enum class WorkerMsgKind { Hello, Beat, Ack };
+struct WorkerMessage {
+    WorkerMsgKind kind = WorkerMsgKind::Beat;
+    long pid = 0;          ///< Hello
+    std::size_t cell = 0;  ///< Ack
+};
+
+enum class CoordMsgKind { Lease, Stop };
+struct CoordMessage {
+    CoordMsgKind kind = CoordMsgKind::Stop;
+    std::vector<std::size_t> cells;  ///< Lease
+};
+
+/// Parse one protocol line; nullopt on anything malformed (the receiver
+/// treats that as a protocol error and drops the peer loudly).
+[[nodiscard]] std::optional<WorkerMessage> parse_worker_line(const std::string& line);
+[[nodiscard]] std::optional<CoordMessage> parse_coordinator_line(const std::string& line);
+
+[[nodiscard]] std::string format_hello(long pid);
+[[nodiscard]] std::string format_beat();
+[[nodiscard]] std::string format_ack(std::size_t cell);
+[[nodiscard]] std::string format_lease(const std::vector<std::size_t>& cells);
+[[nodiscard]] std::string format_stop();
+
+// ------------------------------------------------------------ coordinator
+
+struct FleetOptions {
+    /// Worker processes (capped at the cell count).
+    std::size_t workers = 3;
+    /// SDLBENCH_WORKERS for each worker's in-process pool; 0 = divide
+    /// the hardware evenly (max(1, hw / workers)) so workers get
+    /// disjoint core budgets instead of each oversubscribing the host.
+    std::size_t worker_threads = 0;
+    /// A worker silent this long (no ack/beat/hello) is declared hung,
+    /// SIGKILLed, and its incomplete cells are re-leased.
+    double heartbeat_timeout_s = 30.0;
+    /// Worker-side beat period.
+    double heartbeat_interval_s = 0.25;
+    /// Rewrite campaign.json/csv after this many completed cells
+    /// (live merge); the final write always happens.
+    std::size_t merge_every = 1;
+    /// Hard cap on cells per lease; 0 = adaptive only.
+    std::size_t max_lease = 0;
+    /// linalg backend override (applied before digesting, both sides).
+    std::string backend;
+    /// Path to the sdlbench_fleet binary to exec as workers (argv[0]).
+    std::string worker_exe;
+    /// Print per-cell progress and worker lifecycle lines.
+    bool log_progress = true;
+    /// Fault injection for the crash-recovery tests: worker
+    /// `chaos_kill_worker` raises SIGKILL on itself right after its
+    /// `chaos_kill_after`-th journal append — after the record is
+    /// durable, before the ack leaves. -1 disables.
+    int chaos_kill_worker = -1;
+    std::size_t chaos_kill_after = 0;
+};
+
+struct FleetSummary {
+    std::size_t cells = 0;
+    std::size_t workers_started = 0;
+    std::size_t workers_lost = 0;     ///< died or declared hung
+    std::size_t cells_salvaged = 0;   ///< journaled by a dead worker, unacked
+    std::size_t cells_releases = 0;   ///< re-leased after a worker loss
+    double makespan_s = 0.0;          ///< coordinator wall time
+    double busy_s = 0.0;              ///< sum of per-cell worker wall time
+    /// busy_s / (makespan_s * workers_started) — 1.0 is a perfectly
+    /// packed schedule.
+    double efficiency = 0.0;
+};
+
+struct FleetResult {
+    FleetSummary summary;
+    /// All cells, index-sorted — the same vector a single-process run
+    /// produces.
+    std::vector<CellResult> results;
+};
+
+/// Runs the campaign at `spec_path` across worker processes, writing
+/// campaign.json/campaign.csv (live + final) and a fused whole-grid
+/// cells.jsonl to `out_dir`. Throws on an unrecoverable failure (spec
+/// errors, all workers lost, duplicate cell execution).
+FleetResult run_fleet(const std::string& spec_path, const std::string& out_dir,
+                      const FleetOptions& options);
+
+// ----------------------------------------------------------------- worker
+
+struct FleetWorkerOptions {
+    std::string campaign_path;
+    std::string dir;            ///< this worker's journal directory
+    std::string expect_digest;  ///< coordinator's spec digest (must match)
+    std::string backend;
+    double heartbeat_interval_s = 0.25;
+    std::size_t chaos_kill_after = 0;  ///< 0 = disabled
+};
+
+/// The worker-mode main loop: leases in on stdin, acks out on stdout,
+/// results into <dir>/cells.jsonl. Returns a process exit code (0 on a
+/// clean stop/EOF drain).
+int run_fleet_worker(const FleetWorkerOptions& options);
+
+}  // namespace sdl::campaign

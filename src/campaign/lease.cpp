@@ -1,0 +1,95 @@
+#include "campaign/lease.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+
+namespace sdl::campaign {
+
+LeaseTable::LeaseTable(std::size_t cell_count, std::vector<std::size_t> order)
+    : states_(cell_count, State::Pending), owner_(cell_count, -1),
+      rank_(cell_count, 0) {
+    support::check(order.size() == cell_count,
+                   "lease table order must be a permutation of the cells");
+    std::vector<bool> seen(cell_count, false);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        const std::size_t cell = order[pos];
+        support::check(cell < cell_count && !seen[cell],
+                       "lease table order must be a permutation of the cells");
+        seen[cell] = true;
+        rank_[cell] = pos;
+        pending_.push_back(cell);
+    }
+}
+
+std::vector<std::size_t> LeaseTable::grant(int worker, std::size_t max_cells) {
+    std::vector<std::size_t> leased;
+    while (leased.size() < max_cells && !pending_.empty()) {
+        const std::size_t cell = pending_.front();
+        pending_.pop_front();
+        // A revoked-then-completed cell can still sit in the queue in
+        // Done state (see complete()); skip it rather than re-lease it.
+        if (states_[cell] != State::Pending) continue;
+        states_[cell] = State::Leased;
+        owner_[cell] = worker;
+        leased.push_back(cell);
+    }
+    return leased;
+}
+
+void LeaseTable::complete(std::size_t cell) {
+    support::check(cell < states_.size(), "complete() cell out of range");
+    if (states_[cell] == State::Done) {
+        throw support::LogicError("cell " + std::to_string(cell) +
+                                  " completed twice — a worker executed a cell it did "
+                                  "not own (duplicate results would corrupt the merge)");
+    }
+    // Pending cells are NOT removed from the queue here (deque erase is
+    // O(n)); grant() skips non-Pending entries instead.
+    states_[cell] = State::Done;
+    owner_[cell] = -1;
+    ++done_;
+}
+
+std::vector<std::size_t> LeaseTable::revoke(int worker) {
+    std::vector<std::size_t> revoked;
+    for (std::size_t cell = 0; cell < states_.size(); ++cell) {
+        if (states_[cell] == State::Leased && owner_[cell] == worker) {
+            states_[cell] = State::Pending;
+            owner_[cell] = -1;
+            revoked.push_back(cell);
+        }
+    }
+    std::sort(revoked.begin(), revoked.end(),
+              [&](std::size_t a, std::size_t b) { return rank_[a] < rank_[b]; });
+    // Front of the queue, preserving relative (schedule) order: these
+    // were the longest remaining cells, restart them first.
+    for (auto it = revoked.rbegin(); it != revoked.rend(); ++it) {
+        pending_.push_front(*it);
+    }
+    return revoked;
+}
+
+std::size_t LeaseTable::outstanding(int worker) const noexcept {
+    std::size_t n = 0;
+    for (std::size_t cell = 0; cell < states_.size(); ++cell) {
+        if (states_[cell] == State::Leased && owner_[cell] == worker) ++n;
+    }
+    return n;
+}
+
+std::size_t LeaseTable::suggested_lease(std::size_t active_workers,
+                                        std::size_t max_lease) const noexcept {
+    // pending_ may hold stale Done entries (see complete()); count real ones.
+    std::size_t pending = 0;
+    for (const std::size_t cell : pending_) {
+        if (states_[cell] == State::Pending) ++pending;
+    }
+    if (pending == 0) return 0;
+    const std::size_t workers = std::max<std::size_t>(1, active_workers);
+    std::size_t lease = (pending + 2 * workers - 1) / (2 * workers);  // ceil
+    if (max_lease > 0) lease = std::min(lease, max_lease);
+    return std::max<std::size_t>(1, lease);
+}
+
+}  // namespace sdl::campaign

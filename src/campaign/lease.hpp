@@ -1,0 +1,78 @@
+// Lease-table scheduler: dynamic work distribution with revocation.
+//
+// The fleet coordinator owns one LeaseTable over the expanded grid.
+// Cells start Pending in cost-model schedule order (cost_model.hpp,
+// longest-expected-first); workers pull small contiguous slices of that
+// order ("leases"), complete cells out of order, and a dead worker's
+// incomplete cells are revoked back to the FRONT of the queue — they
+// were the longest remaining work, so the next free worker picks them
+// up immediately. Work-stealing emerges from pull-based leasing: lease
+// sizes shrink as the queue drains (suggested_lease), so toward the end
+// every worker holds at most one running and one queued cell, and no
+// straggler can sit on a pile another worker could have taken.
+//
+// The table never re-issues a completed cell, and complete() on an
+// already-completed cell throws — that is the fleet's "no cell executed
+// twice" duplicate guard staying loud (the same discipline as the
+// journal loader's duplicate check).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace sdl::campaign {
+
+class LeaseTable {
+public:
+    /// `order`: a permutation of [0, cell_count) — the claim order
+    /// (schedule_order(cells)); leases are dealt off its front.
+    LeaseTable(std::size_t cell_count, std::vector<std::size_t> order);
+
+    /// Leases up to `max_cells` pending cells (in queue order) to
+    /// `worker`. Returns the leased cell positions; empty when nothing
+    /// is pending (everything is leased or done).
+    [[nodiscard]] std::vector<std::size_t> grant(int worker, std::size_t max_cells);
+
+    /// Marks `cell` complete (journal record observed). Throws
+    /// LogicError when the cell was already complete — a duplicate
+    /// execution, which must never be silent. The cell may be in any
+    /// other state: normally Leased, but also Pending (a revoked cell
+    /// whose journal record surfaced after the revoke).
+    void complete(std::size_t cell);
+
+    /// Returns `worker`'s incomplete leased cells to the front of the
+    /// pending queue (in their original schedule order, which the
+    /// returned vector also follows) and clears the worker's lease set.
+    /// Call after the worker is confirmed dead
+    /// (killed + reaped) and its journal has been drained — never
+    /// while it might still run.
+    std::vector<std::size_t> revoke(int worker);
+
+    [[nodiscard]] bool all_done() const noexcept { return done_ == states_.size(); }
+    [[nodiscard]] std::size_t done_count() const noexcept { return done_; }
+    [[nodiscard]] std::size_t cell_count() const noexcept { return states_.size(); }
+    [[nodiscard]] std::size_t pending_count() const noexcept { return pending_.size(); }
+    /// Cells currently leased to `worker` and not yet complete.
+    [[nodiscard]] std::size_t outstanding(int worker) const noexcept;
+
+    /// Adaptive lease size: splits the pending queue so `active_workers`
+    /// all stay busy with headroom to rebalance — ceil(pending / (2 *
+    /// workers)), at least 1 while work remains, capped at `max_lease`
+    /// when nonzero. Small leases near the end are the work-stealing.
+    [[nodiscard]] std::size_t suggested_lease(std::size_t active_workers,
+                                              std::size_t max_lease) const noexcept;
+
+private:
+    enum class State : unsigned char { Pending, Leased, Done };
+
+    std::vector<State> states_;
+    std::vector<int> owner_;           // valid while Leased
+    std::vector<std::size_t> rank_;    // cell -> position in schedule order
+    std::deque<std::size_t> pending_;  // claim order, front = next
+    std::size_t done_ = 0;
+};
+
+}  // namespace sdl::campaign

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <utility>
 
+#include "campaign/cost_model.hpp"
 #include "core/colorpicker.hpp"
 #include "support/log.hpp"
 
@@ -30,6 +31,12 @@ std::vector<CellResult> CampaignRunner::run_cells(std::vector<CampaignCell> cell
 std::vector<CellResult> CampaignRunner::run_cells(std::vector<CampaignCell> cells,
                                                   support::ThreadPool& pool) const {
     const std::size_t total = cells.size();
+    // Workers claim cells longest-expected-first (LPT): starting the big
+    // cells early keeps the makespan tail short when costs are skewed.
+    // Claim order is a scheduling detail only — results scatter back to
+    // input order below, so output bytes are identical to the unordered
+    // run.
+    const std::vector<std::size_t> order = schedule_order(cells);
     // Serializes completion handling: the progress log line and the
     // on_cell_done hook (see runner.hpp). Pool workers would otherwise
     // interleave a journaling callback's writes.
@@ -39,9 +46,10 @@ std::vector<CellResult> CampaignRunner::run_cells(std::vector<CampaignCell> cell
     support::ParallelOptions parallel;
     parallel.max_workers = options_.max_workers;
     parallel.chunk = options_.chunk;
-    return pool.parallel_map(
+    std::vector<CellResult> mapped = pool.parallel_map(
         total,
-        [&](std::size_t i) {
+        [&](std::size_t k) {
+            const std::size_t i = order[k];
             const auto started = std::chrono::steady_clock::now();
             CellResult result;
             result.cell = std::move(cells[i]);
@@ -65,6 +73,11 @@ std::vector<CellResult> CampaignRunner::run_cells(std::vector<CampaignCell> cell
             return result;
         },
         parallel);
+    std::vector<CellResult> results(total);
+    for (std::size_t k = 0; k < total; ++k) {
+        results[order[k]] = std::move(mapped[k]);
+    }
+    return results;
 }
 
 }  // namespace sdl::campaign

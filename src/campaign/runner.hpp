@@ -3,8 +3,10 @@
 // Every cell is an independent simulated workcell (its own
 // core::WorkcellRuntime), so cells parallelize perfectly; the runner fans
 // them out with support::ThreadPool::parallel_map using the hinted
-// overload, keeps results in grid order, and logs progress as cells
-// complete. Determinism: a cell's outcome depends only on its resolved
+// overload, claims cells longest-expected-first (campaign/cost_model.hpp,
+// LPT scheduling — shortens the makespan tail on cost-skewed grids),
+// keeps results in grid order, and logs progress as cells complete.
+// Determinism: a cell's outcome depends only on its resolved
 // config (expand_grid's deterministic seeds), never on scheduling, so the
 // same spec always produces identical results.
 #pragma once

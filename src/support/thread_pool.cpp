@@ -1,7 +1,10 @@
 #include "support/thread_pool.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+
+#include "support/log.hpp"
 
 namespace sdl::support {
 
@@ -78,8 +81,24 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     if (first_error) std::rethrow_exception(first_error);
 }
 
+std::size_t pool_size_from_env(const char* value) noexcept {
+    if (value == nullptr || *value == '\0') return 0;
+    std::size_t parsed = 0;
+    for (const char* p = value; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9' || parsed > 4096) {
+            log_warn("support", "ignoring SDLBENCH_WORKERS='", value,
+                     "' (expected a positive integer)");
+            return 0;
+        }
+        parsed = parsed * 10 + static_cast<std::size_t>(*p - '0');
+    }
+    return parsed;  // 0 stays "default"
+}
+
 ThreadPool& global_pool() {
-    static ThreadPool pool;
+    // SDLBENCH_WORKERS is read exactly once, at first use; later env
+    // changes don't resize a pool that threads already share.
+    static ThreadPool pool(pool_size_from_env(std::getenv("SDLBENCH_WORKERS")));
     return pool;
 }
 

@@ -188,7 +188,17 @@ private:
     bool stopping_ = false;
 };
 
-/// Process-wide pool for benchmark harnesses (lazily constructed).
+/// Parses an SDLBENCH_WORKERS-style value: a positive integer is a pool
+/// size, null/empty/0/garbage mean "default" (returns 0, i.e. hardware
+/// concurrency) — garbage is logged as a warning rather than thrown,
+/// because this runs inside global_pool()'s lazy static initializer.
+[[nodiscard]] std::size_t pool_size_from_env(const char* value) noexcept;
+
+/// Process-wide pool for benchmark harnesses (lazily constructed). The
+/// size honors the SDLBENCH_WORKERS environment variable, read once at
+/// first use — fleet workers (tools/sdlbench_fleet) are pinned to
+/// disjoint core budgets this way, and a bench run can be forced
+/// single-threaded without code changes.
 ThreadPool& global_pool();
 
 }  // namespace sdl::support

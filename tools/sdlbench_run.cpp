@@ -98,7 +98,10 @@ void print_usage(std::FILE* stream) {
                  "  --shard i/N        run only the cells with index = i-1 (mod N)\n"
                  "                     (1-based i) — split one grid round-robin\n"
                  "                     across machines, then fuse the journals\n"
-                 "                     with sdlbench_merge\n"
+                 "                     with sdlbench_merge. On a single machine\n"
+                 "                     prefer sdlbench_fleet: dynamic work-stealing\n"
+                 "                     instead of static shards, automatic re-lease\n"
+                 "                     on worker death, live-merged reports\n"
                  "  --scenario <ref>   run the experiment on a named workcell\n"
                  "                     scenario (see --list-scenarios) or a\n"
                  "                     workcell spec YAML file; composes with an\n"
