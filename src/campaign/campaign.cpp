@@ -3,6 +3,7 @@
 #include <map>
 
 #include "core/config_io.hpp"
+#include "core/scenario_gen.hpp"
 #include "core/scenarios.hpp"
 #include "core/workcell_spec.hpp"
 #include "support/common.hpp"
@@ -114,6 +115,10 @@ std::vector<CampaignCell> expand_grid(const CampaignSpec& raw) {
                                     scenarios.at(workcell);
                                 cell.config = core::apply_workcell_spec(
                                     std::move(cell.config), scenario);
+                                if (core::is_generated_ref(workcell)) {
+                                    cell.generated_seed =
+                                        core::parse_generated_ref(workcell);
+                                }
                             }
                             cell.workcell = cell.config.workcell.scenario;
                             cell.config.solver = solver;

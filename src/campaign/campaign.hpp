@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,10 @@ struct CampaignCell {
     core::Objective objective = core::Objective::RgbEuclidean;
     color::Rgb8 target;
     int replicate = 0;      ///< 0-based
+    /// Set when the cell's workcell came from a "generated:seed=K" axis
+    /// entry; reports score and record the scenario's difficulty for
+    /// these cells. Reconstituted on resume by re-expanding the grid.
+    std::optional<std::uint64_t> generated_seed;
     core::ColorPickerConfig config;
 };
 

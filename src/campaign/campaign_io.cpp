@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/config_io.hpp"
+#include "core/scenario_gen.hpp"
 #include "core/scenarios.hpp"
 #include "support/common.hpp"
 #include "support/yaml.hpp"
@@ -61,7 +62,13 @@ CampaignSpec campaign_from_doc(const json::Value& doc) {
             "grid");
         if (const json::Value* workcells = grid->find("workcells")) {
             for (const json::Value& w : workcells->as_array()) {
-                spec.axes.workcells.push_back(w.as_string());
+                // "generated:seed=K..M" fans out to one entry per seed;
+                // other refs pass through unchanged. Overlapping ranges
+                // produce duplicate entries, which expand_grid rejects
+                // by name.
+                for (std::string& ref : core::expand_generated_refs(w.as_string())) {
+                    spec.axes.workcells.push_back(std::move(ref));
+                }
             }
         }
         if (const json::Value* solvers = grid->find("solvers")) {

@@ -119,6 +119,9 @@ json::Value outcome_to_json(const core::ExperimentOutcome& outcome) {
     doc.set("replenishes", outcome.replenishes);
     doc.set("batches_run", outcome.batches_run);
     doc.set("frame_retakes", outcome.frame_retakes);
+    // Conditional so journals from clog-free runs keep their exact bytes
+    // (the resume round trip diffs them byte for byte).
+    if (outcome.reprimes > 0) doc.set("reprimes", outcome.reprimes);
     doc.set("wells_rescued_total", static_cast<std::int64_t>(outcome.wells_rescued_total));
     doc.set("mean_grid_residual_px", outcome.mean_grid_residual_px);
     return doc;
@@ -165,6 +168,7 @@ core::ExperimentOutcome outcome_from_json(const json::Value& doc) {
     outcome.replenishes = static_cast<int>(doc.at("replenishes").as_int());
     outcome.batches_run = static_cast<int>(doc.at("batches_run").as_int());
     outcome.frame_retakes = static_cast<int>(doc.at("frame_retakes").as_int());
+    outcome.reprimes = static_cast<int>(doc.get_or("reprimes", std::int64_t{0}));
     outcome.wells_rescued_total =
         static_cast<std::size_t>(doc.at("wells_rescued_total").as_int());
     outcome.mean_grid_residual_px = doc.at("mean_grid_residual_px").as_double();

@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "core/config_io.hpp"
+#include "core/scenario_gen.hpp"
 #include "support/atomic_io.hpp"
 #include "support/csv.hpp"
 
@@ -115,6 +116,9 @@ json::Value experiment_result_to_json(const core::ColorPickerConfig& config,
     counts.set("batches_run", outcome.batches_run);
     counts.set("frame_retakes", outcome.frame_retakes);
     counts.set("wells_rescued", static_cast<std::int64_t>(outcome.wells_rescued_total));
+    // Conditional key (like linalg_backend above): runs without the
+    // clogged-tip fault chain keep their pre-existing bytes.
+    if (outcome.reprimes > 0) counts.set("reprimes", outcome.reprimes);
     doc.set("counts", std::move(counts));
 
     const metrics::SdlMetrics& m = outcome.metrics;
@@ -162,6 +166,15 @@ json::Value campaign_results_to_json(const CampaignSpec& spec,
         cell.set("target", rgb_to_json(result.cell.target));
         cell.set("replicate", result.cell.replicate);
         cell.set("seed", static_cast<std::int64_t>(result.cell.config.seed));
+        if (result.cell.generated_seed) {
+            // Generated cells carry their scenario's difficulty score so a
+            // sweep over the scenario space is self-describing. The keys
+            // are conditional: hand-written-scenario campaigns keep their
+            // pre-existing bytes.
+            cell.set("generated_seed",
+                     static_cast<std::int64_t>(*result.cell.generated_seed));
+            cell.set("difficulty", core::generated_difficulty(*result.cell.generated_seed));
+        }
         entry.set("cell", std::move(cell));
         entry.set("result", experiment_result_to_json(result.cell.config, result.outcome));
         cells.push_back(std::move(entry));

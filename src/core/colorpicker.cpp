@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/workflows.hpp"
+#include "imaging/plate_render.hpp"
 #include "imaging/well_reader.hpp"
 #include "solver/factory.hpp"
 #include "support/common.hpp"
@@ -65,6 +66,15 @@ void ColorPickerApp::ensure_reservoirs(std::span<const devices::DispenseOrder> o
     ++outcome_.replenishes;
 }
 
+void ColorPickerApp::ensure_primed() {
+    if (!runtime_->ot2().needs_prime()) return;
+    // Clogged-tip chain: the previous protocol left a tip clogged, and the
+    // next one would hard-fail. Barty (or the human stand-in) back-flushes
+    // the tips first.
+    (void)runtime_->engine().run(wf_reprime());
+    ++outcome_.reprimes;
+}
+
 ColorPickerApp::BatchReadout ColorPickerApp::mix_and_measure(
     const std::vector<std::vector<double>>& proposals, const std::vector<int>& wells) {
     const ColorPickerConfig& config = runtime_->config();
@@ -83,6 +93,7 @@ ColorPickerApp::BatchReadout ColorPickerApp::mix_and_measure(
         orders.push_back(order);
     }
     ensure_reservoirs(orders);
+    ensure_primed();
 
     const wei::Workflow mix =
         wf_mixcolor().with_step_args(kMixStepName, devices::Ot2Sim::make_protocol_args(orders));
@@ -93,9 +104,10 @@ ColorPickerApp::BatchReadout ColorPickerApp::mix_and_measure(
     // (occluded fiducial, reflection) is recovered by retaking the photo
     // — the plate is already sitting on the camera nest.
     imaging::WellReadParams read_params;
-    read_params.geometry = runtime_->camera().scene().geometry;
-    read_params.geometry.rows = config.plate_rows;
-    read_params.geometry.cols = config.plate_cols;
+    read_params.geometry =
+        imaging::scene_for_plate(runtime_->camera().scene(), config.plate_rows,
+                                 config.plate_cols)
+            .geometry;
     const auto read_frame = [&](std::int64_t id) {
         if (!config.vision_roi_fast_path) {
             return imaging::read_plate(runtime_->camera().frame(id), read_params);

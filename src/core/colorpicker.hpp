@@ -69,6 +69,7 @@ private:
     void init_solver();
     void ensure_plate_with_room(int batch);
     void ensure_reservoirs(std::span<const devices::DispenseOrder> orders);
+    void ensure_primed();
     [[nodiscard]] BatchReadout mix_and_measure(
         const std::vector<std::vector<double>>& proposals,
         const std::vector<int>& wells);

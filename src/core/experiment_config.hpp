@@ -129,6 +129,7 @@ struct ExperimentOutcome {
     int replenishes = 0;
     int batches_run = 0;           ///< = published runs
     int frame_retakes = 0;         ///< unusable frames recovered by retaking
+    int reprimes = 0;              ///< clogged-tip chains cleared by prime_tips
 
     // Vision diagnostics aggregated over all camera reads.
     std::size_t wells_rescued_total = 0;

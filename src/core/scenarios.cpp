@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "core/scenario_gen.hpp"
 #include "support/common.hpp"
 
 namespace sdl::core {
@@ -112,7 +113,8 @@ WorkcellSpec scenario_by_name(const std::string& name) {
         known += n;
     }
     throw support::ConfigError("unknown workcell scenario '" + name + "' (expected " +
-                               known + ", or a path to a workcell spec file)");
+                               known + ", a generated:seed=<K> reference, or a path "
+                               "to a workcell spec file)");
 }
 
 bool scenario_ref_is_path(const std::string& ref) {
@@ -128,6 +130,9 @@ std::string rebase_scenario_ref(std::string ref, const std::string& base_dir) {
 }
 
 WorkcellSpec resolve_scenario(const std::string& ref) {
+    // "generated:..." first: the prefix can never be a registry name, and
+    // treating it as one would bury the ref grammar's error messages.
+    if (is_generated_ref(ref)) return generate_scenario(parse_generated_ref(ref));
     if (scenario_ref_is_path(ref)) return workcell_spec_from_file(ref);
     return scenario_by_name(ref);
 }

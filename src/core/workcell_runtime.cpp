@@ -74,8 +74,15 @@ WorkcellRuntime::WorkcellRuntime(ColorPickerConfig config)
         manual.handling = topology.manual_handling;
         manual.plate_rows = config_.plate_rows;
         manual.plate_cols = config_.plate_cols;
-        registry_.add(std::make_shared<devices::ManualOperatorSim>(manual, plates_,
-                                                                   locations_, reservoirs));
+        auto sim = std::make_shared<devices::ManualOperatorSim>(manual, plates_,
+                                                                locations_, reservoirs);
+        registry_.add(sim);
+        return sim;
+    };
+    // prime_tips (real barty or the human stand-in) clears the clogged-tip
+    // latch on every mounted liquid handler.
+    const auto prime_all_ot2s = [this] {
+        for (const auto& ot2 : ot2s_) ot2->prime_tips();
     };
     if (topology.has_sciclops) {
         sciclops_ =
@@ -92,9 +99,10 @@ WorkcellRuntime::WorkcellRuntime(ColorPickerConfig config)
     }
     if (topology.has_barty) {
         barty_ = std::make_shared<devices::BartySim>(config_.barty, ot2s_.front()->reservoirs());
+        barty_->set_prime_hook(prime_all_ot2s);
         registry_.add(barty_);
     } else {
-        add_manual("barty", &ot2s_.front()->reservoirs());
+        add_manual("barty", &ot2s_.front()->reservoirs())->set_prime_hook(prime_all_ot2s);
     }
 }
 

@@ -43,11 +43,12 @@ const std::vector<const char*>& option_keys(DeviceKind kind) {
     static const std::vector<const char*> pf400{"transfer_s"};
     static const std::vector<const char*> ot2{"protocol_overhead_s", "per_well_s",
                                               "dispense_cv", "dispense_sigma_ul",
-                                              "reservoir_capacity_ml"};
+                                              "reservoir_capacity_ml", "clog_prob",
+                                              "dye_drift_per_well"};
     static const std::vector<const char*> barty{"fill_s", "drain_s", "refill_s",
-                                                "bulk_capacity_ml"};
+                                                "prime_s", "bulk_capacity_ml"};
     static const std::vector<const char*> camera{"capture_s", "glitch_prob",
-                                                 "max_frames"};
+                                                 "max_frames", "drift_per_frame"};
     switch (kind) {
         case DeviceKind::Sciclops: return sciclops;
         case DeviceKind::Pf400: return pf400;
@@ -75,7 +76,7 @@ void check_probability(double p, const std::string& where) {
 /// the key's name, not deep inside the simulator.
 void check_option_value(const std::string& key, const json::Value& value) {
     const std::string where = "device option '" + key + "'";
-    if (key == "dispense_cv" || key == "glitch_prob") {
+    if (key == "dispense_cv" || key == "glitch_prob" || key == "clog_prob") {
         check_probability(value.as_double(), where);
         return;
     }
@@ -389,6 +390,9 @@ ColorPickerConfig apply_workcell_spec(ColorPickerConfig config, const WorkcellSp
                 c.dispense_sigma_ul = opt_double(o, "dispense_sigma_ul", c.dispense_sigma_ul);
                 c.reservoir_capacity = Volume::milliliters(opt_double(
                     o, "reservoir_capacity_ml", c.reservoir_capacity.to_milliliters()));
+                c.clog_prob = opt_double(o, "clog_prob", c.clog_prob);
+                c.dye_drift_per_well =
+                    opt_double(o, "dye_drift_per_well", c.dye_drift_per_well);
                 break;
             }
             case DeviceKind::Barty: {
@@ -397,6 +401,7 @@ ColorPickerConfig apply_workcell_spec(ColorPickerConfig config, const WorkcellSp
                 c.timing.fill = opt_duration(o, "fill_s", c.timing.fill);
                 c.timing.drain = opt_duration(o, "drain_s", c.timing.drain);
                 c.timing.refill = opt_duration(o, "refill_s", c.timing.refill);
+                c.timing.prime = opt_duration(o, "prime_s", c.timing.prime);
                 c.bulk_capacity = Volume::milliliters(
                     opt_double(o, "bulk_capacity_ml", c.bulk_capacity.to_milliliters()));
                 break;
@@ -405,6 +410,7 @@ ColorPickerConfig apply_workcell_spec(ColorPickerConfig config, const WorkcellSp
                 devices::CameraConfig& c = config.camera;
                 c.timing.capture = opt_duration(o, "capture_s", c.timing.capture);
                 c.glitch_prob = opt_double(o, "glitch_prob", c.glitch_prob);
+                c.drift_per_frame = opt_double(o, "drift_per_frame", c.drift_per_frame);
                 c.max_frames = static_cast<std::size_t>(
                     opt_int(o, "max_frames", static_cast<std::int64_t>(c.max_frames)));
                 break;
@@ -421,6 +427,7 @@ ColorPickerConfig apply_workcell_spec(ColorPickerConfig config, const WorkcellSp
     config.barty.timing.fill *= k;
     config.barty.timing.drain *= k;
     config.barty.timing.refill *= k;
+    config.barty.timing.prime *= k;
     config.camera.timing.capture *= k;
 
     config.workcell = topology;

@@ -61,9 +61,10 @@ enum class DeviceKind { Sciclops, Pf400, Ot2, Barty, Camera };
 ///   sciclops — towers, plates_per_tower, get_plate_s, status_s
 ///   pf400    — transfer_s
 ///   ot2      — protocol_overhead_s, per_well_s, dispense_cv,
-///              dispense_sigma_ul, reservoir_capacity_ml
-///   barty    — fill_s, drain_s, refill_s, bulk_capacity_ml
-///   camera   — capture_s, glitch_prob, max_frames
+///              dispense_sigma_ul, reservoir_capacity_ml, clog_prob,
+///              dye_drift_per_well
+///   barty    — fill_s, drain_s, refill_s, prime_s, bulk_capacity_ml
+///   camera   — capture_s, glitch_prob, max_frames, drift_per_frame
 struct DeviceSpec {
     DeviceKind kind = DeviceKind::Ot2;
     /// Instance name. Must equal the kind spelling (validated): the

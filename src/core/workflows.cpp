@@ -65,6 +65,16 @@ steps:
     return wf;
 }
 
+const wei::Workflow& wf_reprime() {
+    static const wei::Workflow wf = wei::Workflow::from_yaml(R"(name: cp_wf_reprime
+steps:
+  - name: prime tips
+    module: barty
+    action: prime_tips
+)");
+    return wf;
+}
+
 const wei::Workflow& wf_retake() {
     static const wei::Workflow wf = wei::Workflow::from_yaml(R"(name: cp_wf_retake
 steps:

@@ -23,6 +23,10 @@ namespace sdl::core {
 /// barty drains and refills the reservoirs with fresh dye.
 [[nodiscard]] const wei::Workflow& wf_replenish();
 
+/// barty (or its manual stand-in) back-flushes the OT2 pipette tips —
+/// recovery for the clogged-tip fault chain (devices::Ot2Config::clog_prob).
+[[nodiscard]] const wei::Workflow& wf_reprime();
+
 /// camera retakes a photograph (recovery when a frame is unusable —
 /// occluded fiducial, reflection — which the vision pipeline detects).
 [[nodiscard]] const wei::Workflow& wf_retake();

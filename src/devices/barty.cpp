@@ -14,7 +14,7 @@ BartySim::BartySim(BartyConfig config, std::array<des::Store, 4>& reservoirs)
         "barty",
         "RPL Barty",
         "peristaltic-pump liquid replenisher",
-        {"fill_colors", "drain_colors", "refill_colors"},
+        {"fill_colors", "drain_colors", "refill_colors", "prime_tips"},
         /*robotic=*/true,
     };
 }
@@ -22,6 +22,7 @@ BartySim::BartySim(BartyConfig config, std::array<des::Store, 4>& reservoirs)
 support::Duration BartySim::estimate(const wei::ActionRequest& request) const {
     if (request.action == "fill_colors") return config_.timing.fill;
     if (request.action == "drain_colors") return config_.timing.drain;
+    if (request.action == "prime_tips") return config_.timing.prime;
     return config_.timing.refill;
 }
 
@@ -55,6 +56,10 @@ wei::ActionResult BartySim::execute(const wei::ActionRequest& request) {
         const wei::ActionResult drained = drain();
         if (!drained.ok()) return drained;
         return fill();
+    }
+    if (request.action == "prime_tips") {
+        if (on_prime_) on_prime_();
+        return wei::ActionResult::success();
     }
     return wei::ActionResult::failure("barty: unknown action '" + request.action + "'");
 }

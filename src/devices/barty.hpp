@@ -23,10 +23,15 @@ struct BartyConfig {
 ///   fill_colors    — pump every ot2 reservoir to capacity
 ///   drain_colors   — empty every ot2 reservoir
 ///   refill_colors  — drain then fill (fresh dye, no cross-contamination)
+///   prime_tips     — back-flush the OT2 pipette tips (clears a clog)
 class BartySim final : public wei::Module {
 public:
     /// `reservoirs` are the target ot2's stores; barty borrows them.
     BartySim(BartyConfig config, std::array<des::Store, 4>& reservoirs);
+
+    /// Wired by WorkcellRuntime: prime_tips calls this to clear the clog
+    /// latch on every mounted OT2 (barty only knows pumps, not pipettes).
+    void set_prime_hook(std::function<void()> hook) { on_prime_ = std::move(hook); }
 
     [[nodiscard]] const wei::ModuleInfo& info() const noexcept override { return info_; }
     [[nodiscard]] support::Duration estimate(const wei::ActionRequest& request) const override;
@@ -43,6 +48,7 @@ private:
     BartyConfig config_;
     std::array<des::Store, 4>& reservoirs_;
     std::array<support::Volume, 4> bulk_remaining_;
+    std::function<void()> on_prime_;
     wei::ModuleInfo info_;
 };
 

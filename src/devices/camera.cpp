@@ -36,11 +36,19 @@ wei::ActionResult CameraSim::execute(const wei::ActionRequest& request) {
     }
     const wei::Plate& plate = plates_.get(*plate_id);
 
-    // Scene geometry follows the plate dimensions; everything else (marker
+    // Scene geometry follows the plate dimensions (dense 384/1536 formats
+    // shrink the pitch and upscale the frame); everything else (marker
     // pose, noise, lighting) comes from the configured scene.
-    imaging::PlateScene scene = config_.scene;
-    scene.geometry.rows = plate.rows();
-    scene.geometry.cols = plate.cols();
+    imaging::PlateScene scene =
+        imaging::scene_for_plate(config_.scene, plate.rows(), plate.cols());
+
+    // Ring-light warm-up: the shading gradient drifts a little with every
+    // frame captured so far.
+    const bool drifted = config_.drift_per_frame != 0.0;
+    if (drifted) {
+        scene.illum_gradient.x +=
+            config_.drift_per_frame * static_cast<double>(next_frame_id_ - 1);
+    }
 
     // Glitched frame: the fiducial is occluded (moved far out of frame),
     // making the image undecodable downstream.
@@ -62,9 +70,10 @@ wei::ActionResult CameraSim::execute(const wei::ActionRequest& request) {
 
     const std::int64_t frame_id = next_frame_id_++;
     // Glitched scenes (marker moved) would evict the base cache twice per
-    // glitch; render them one-shot so the cache keeps serving the normal
-    // pose. Either path produces bitwise-identical frames.
-    if (config_.cache_base_raster && !glitched) {
+    // glitch, and drifted scenes change every frame, so the cache could
+    // never hit; render both one-shot. Either path produces
+    // bitwise-identical frames.
+    if (config_.cache_base_raster && !glitched && !drifted) {
         frames_.emplace(frame_id, renderer_.render(scene, colors, rng_, &filled));
     } else {
         frames_.emplace(frame_id, imaging::render_plate(scene, colors, rng_, &filled));

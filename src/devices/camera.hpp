@@ -33,6 +33,10 @@ struct CameraConfig {
     /// device level; the vision pipeline discovers the problem and the
     /// application retakes the photo.
     double glitch_prob = 0.0;
+    /// Per-frame growth of the horizontal illumination gradient: the ring
+    /// light warms up over a campaign, slowly tilting the shading the
+    /// vision pipeline has to read colors through. Frame 1 is undrifted.
+    double drift_per_frame = 0.0;
     /// Reuse the deterministic background+plate raster across captures of
     /// an unchanged scene (imaging::PlateRenderer). Frames are bitwise
     /// identical either way; the flag exists for identity tests and

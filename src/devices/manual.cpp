@@ -22,7 +22,7 @@ ManualOperatorSim::ManualOperatorSim(ManualConfig config, wei::PlateRegistry& pl
     } else if (config_.stand_in_for == "barty") {
         support::check(reservoirs_ != nullptr,
                        "manual barty stand-in needs the ot2 reservoirs");
-        actions = {"fill_colors", "drain_colors", "refill_colors"};
+        actions = {"fill_colors", "drain_colors", "refill_colors", "prime_tips"};
     } else {
         throw support::ConfigError("manual operator can stand in for sciclops, pf400 "
                                    "or barty, not '" + config_.stand_in_for + "'");
@@ -101,6 +101,10 @@ wei::ActionResult ManualOperatorSim::execute(const wei::ActionRequest& request) 
     }
     if (request.action == "get_plate") return get_plate();
     if (request.action == "transfer") return transfer(request);
+    if (request.action == "prime_tips") {
+        if (on_prime_) on_prime_();
+        return wei::ActionResult::success();
+    }
     const bool fluid_action = request.action == "fill_colors" ||
                               request.action == "drain_colors" ||
                               request.action == "refill_colors";

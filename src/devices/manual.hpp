@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 
 #include "des/resource.hpp"
 #include "devices/timing.hpp"
@@ -38,6 +39,9 @@ struct ManualConfig {
 ///   transfer                      — pf400 role, same args/semantics
 ///   fill_colors / drain_colors / refill_colors — barty role; dye is
 ///                                   poured from bottles, never exhausted
+///   prime_tips                    — barty role; the human back-flushes
+///                                   the OT2 tips by hand (non-robotic,
+///                                   so it is excluded from CCWH)
 class ManualOperatorSim final : public wei::Module {
 public:
     /// `reservoirs` may be null unless the role is barty.
@@ -53,6 +57,10 @@ public:
         return actions_performed_;
     }
 
+    /// Wired by WorkcellRuntime for the barty role: prime_tips calls this
+    /// to clear the clog latch on every mounted OT2.
+    void set_prime_hook(std::function<void()> hook) { on_prime_ = std::move(hook); }
+
 private:
     [[nodiscard]] wei::ActionResult get_plate();
     [[nodiscard]] wei::ActionResult transfer(const wei::ActionRequest& request);
@@ -62,6 +70,7 @@ private:
     wei::PlateRegistry& plates_;
     wei::LocationMap& locations_;
     std::array<des::Store, 4>* reservoirs_;
+    std::function<void()> on_prime_;
     wei::ModuleInfo info_;
     std::uint64_t actions_performed_ = 0;
 };

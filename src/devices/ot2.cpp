@@ -18,7 +18,8 @@ Ot2Sim::Ot2Sim(Ot2Config config, wei::PlateRegistry& plates, wei::LocationMap& l
                   des::Store(config.reservoir_capacity, config.reservoir_initial, "magenta"),
                   des::Store(config.reservoir_capacity, config.reservoir_initial, "yellow"),
                   des::Store(config.reservoir_capacity, config.reservoir_initial, "black")},
-      rng_(config.noise_seed) {
+      rng_(config.noise_seed),
+      clog_rng_(config.noise_seed ^ 0xC106C106C106ULL) {
     info_ = wei::ModuleInfo{
         config_.name,
         "Opentrons OT-2",
@@ -101,6 +102,12 @@ wei::ActionResult Ot2Sim::execute(const wei::ActionRequest& request) {
                                           "'");
     }
 
+    if (needs_prime_) {
+        return wei::ActionResult::failure(config_.name +
+                                          ": pipette tip clogged — run prime_tips "
+                                          "before the next protocol");
+    }
+
     const auto plate_id = locations_.peek(config_.deck_location);
     if (!plate_id.has_value()) {
         return wei::ActionResult::failure(config_.name + ": no plate on the deck");
@@ -150,7 +157,17 @@ wei::ActionResult Ot2Sim::execute(const wei::ActionRequest& request) {
             }
             content.volumes[dye] = Volume::microliters(actual);
         }
-        content.true_color = mixer_.mix(content.volumes);
+        if (config_.dye_drift_per_well > 0.0) {
+            // Evaporation concentrates the dyes: the optical path grows a
+            // little with every well mixed so far. The solver keeps the
+            // undrifted model — that mismatch is the point.
+            const double path =
+                1.0 + config_.dye_drift_per_well * static_cast<double>(wells_mixed_);
+            content.true_color =
+                color::BeerLambertMixer(mixer_.library(), path).mix(content.volumes);
+        } else {
+            content.true_color = mixer_.mix(content.volumes);
+        }
         plate.fill(order.well, content);
         ++wells_mixed_;
 
@@ -158,6 +175,12 @@ wei::ActionResult Ot2Sim::execute(const wei::ActionRequest& request) {
         entry.set("well", order.well);
         entry.set("color", content.true_color.str());
         mixed.push_back(std::move(entry));
+    }
+
+    // Roll the clog chain only when enabled, after a *successful*
+    // protocol (a clog is left behind by real pipetting work).
+    if (config_.clog_prob > 0.0 && clog_rng_.bernoulli(config_.clog_prob)) {
+        needs_prime_ = true;
     }
 
     json::Value data = json::Value::object();

@@ -30,6 +30,16 @@ struct Ot2Config {
     double dispense_cv = 0.02;
     /// Absolute pipetting error floor in µL.
     double dispense_sigma_ul = 0.4;
+    /// Probability that a completed protocol leaves a pipette tip clogged.
+    /// A clogged OT2 rejects every further run_protocol until barty (or
+    /// the manual stand-in) runs prime_tips — the fault *chain* generated
+    /// scenarios exercise. Rolled on its own rng stream so enabling it
+    /// never perturbs the dispense-noise draws.
+    double clog_prob = 0.0;
+    /// Per-well growth of the Beer–Lambert optical path length: dyes
+    /// concentrate as solvent evaporates over a campaign, so late wells
+    /// read slightly darker than the solver's model predicts.
+    double dye_drift_per_well = 0.0;
     std::uint64_t noise_seed = 0x07B2;
     Ot2Timing timing;
     /// Module instance name (so workcells can mount several OT2s, the
@@ -69,6 +79,11 @@ public:
     [[nodiscard]] const color::BeerLambertMixer& mixer() const noexcept { return mixer_; }
     [[nodiscard]] std::uint64_t wells_mixed() const noexcept { return wells_mixed_; }
 
+    /// True when a clogged tip blocks the next protocol (see clog_prob).
+    [[nodiscard]] bool needs_prime() const noexcept { return needs_prime_; }
+    /// Clears a clog; invoked by barty's / the manual stand-in's prime_tips.
+    void prime_tips() noexcept { needs_prime_ = false; }
+
     /// Builds the run_protocol args payload for a batch of orders.
     [[nodiscard]] static support::json::Value make_protocol_args(
         std::span<const DispenseOrder> orders);
@@ -85,7 +100,9 @@ private:
     color::BeerLambertMixer mixer_;
     std::array<des::Store, 4> reservoirs_;
     support::Rng rng_;
+    support::Rng clog_rng_;  ///< clog chain stream, decoupled from noise
     std::uint64_t wells_mixed_ = 0;
+    bool needs_prime_ = false;
 };
 
 }  // namespace sdl::devices

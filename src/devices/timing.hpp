@@ -36,6 +36,7 @@ struct BartyTiming {
     Duration fill = Duration::seconds(45.0);    ///< pump reservoirs full
     Duration drain = Duration::seconds(25.0);   ///< empty reservoirs
     Duration refill = Duration::seconds(65.0);  ///< drain + fill cycle
+    Duration prime = Duration::seconds(30.0);   ///< back-flush clogged tips
 };
 
 struct CameraTiming {

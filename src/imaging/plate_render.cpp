@@ -1,5 +1,6 @@
 #include "imaging/plate_render.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "imaging/draw.hpp"
@@ -121,6 +122,27 @@ std::vector<Vec2> true_well_centers(const PlateScene& scene) {
 
 bool same_scene(const PlateScene& a, const PlateScene& b) noexcept {
     return a == b;  // defaulted memberwise equality — cannot drift
+}
+
+PlateScene scene_for_plate(PlateScene scene, int rows, int cols) {
+    scene.geometry.rows = rows;
+    scene.geometry.cols = cols;
+    // The calibrated scene fits an 8x12 grid; denser plates upscale the
+    // raster by ceil(1/f) (f is 1/2 for 384, 1/4 for 1536, so the
+    // upscale is exact) and leave the marker-relative geometry alone:
+    // with marker_side_px unchanged, well pixel pitch and radius stay at
+    // the 96-well values the vision pipeline is calibrated for, and the
+    // marker itself stays inside the detector's scale envelope (a 4x
+    // marker would outgrow the adaptive-threshold window and vanish).
+    const double f = std::min(12.0 / std::max(cols, 1), 8.0 / std::max(rows, 1));
+    if (f >= 1.0) {
+        return scene;
+    }
+    const double up = std::ceil(1.0 / f);
+    scene.width = static_cast<int>(scene.width * up);
+    scene.height = static_cast<int>(scene.height * up);
+    scene.marker_center = scene.marker_center * up;
+    return scene;
 }
 
 Image render_plate(const PlateScene& scene, std::span<const color::Rgb8> well_colors,

@@ -80,6 +80,15 @@ struct PlateScene {
 /// Ground-truth well-center positions for a scene (for tests/metrics).
 [[nodiscard]] std::vector<Vec2> true_well_centers(const PlateScene& scene);
 
+/// Adapts a scene to a plate format. Up to the calibrated 8x12 the scene
+/// passes through with only rows/cols set (96-well frames stay bitwise
+/// identical to the pre-adaptation renderer). Denser formats (384-, 1536-
+/// well) shrink the well pitch so the grid spans the same deck area, and
+/// upscale the frame + fiducial by the matching integer factor so each
+/// well keeps its 96-well *pixel* size — the Hough radius band and the
+/// §2.4 marker-relative geometry both keep working unchanged.
+[[nodiscard]] PlateScene scene_for_plate(PlateScene scene, int rows, int cols);
+
 /// Field-by-field scene equality (geometry, colors, nuisances) — the
 /// base-raster cache key.
 [[nodiscard]] bool same_scene(const PlateScene& a, const PlateScene& b) noexcept;

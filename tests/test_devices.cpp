@@ -9,6 +9,7 @@
 #include "des/simulation.hpp"
 #include "devices/barty.hpp"
 #include "devices/camera.hpp"
+#include "devices/manual.hpp"
 #include "devices/ot2.hpp"
 #include "devices/pf400.hpp"
 #include "devices/sciclops.hpp"
@@ -320,6 +321,126 @@ TEST(Barty, BulkExhaustionFails) {
     const auto result = barty.execute(request_of("barty", "fill_colors"));
     EXPECT_FALSE(result.ok());
     EXPECT_NE(result.error.find("exhausted"), std::string::npos);
+}
+
+// ----------------------------------------------- clogged-tip fault chain
+
+namespace {
+
+/// Fresh OT2 with a filled plate on its deck and full reservoirs, ready
+/// to run protocols back to back (clog-chain tests re-run many).
+struct ClogBench {
+    TestWorkcell cell;
+    std::shared_ptr<Ot2Sim> ot2;
+    PlateId plate = 0;
+
+    explicit ClogBench(double clog_prob, std::uint64_t noise_seed = 0x07B2) {
+        Ot2Config config;
+        config.clog_prob = clog_prob;
+        config.noise_seed = noise_seed;
+        ot2 = std::make_shared<Ot2Sim>(config, cell.plates, cell.locations);
+        for (auto& reservoir : ot2->reservoirs()) {
+            reservoir.deposit(Volume::milliliters(200));
+        }
+        plate = cell.plates.create(8, 12);
+        cell.locations.place(locations::kOt2Deck, plate);
+    }
+
+    wei::ActionResult mix(int well) {
+        return ot2->execute(request_of("ot2", "run_protocol",
+                                       mix_args({{well, {20, 20, 20, 20}}})));
+    }
+};
+
+}  // namespace
+
+TEST(Ot2, CloggedTipBlocksProtocolsUntilPrimed) {
+    ClogBench bench(1.0);  // every protocol leaves a clog
+    ASSERT_TRUE(bench.mix(0).ok());
+    EXPECT_TRUE(bench.ot2->needs_prime());
+
+    // The chain: the *next* protocol is rejected until prime_tips runs.
+    const auto blocked = bench.mix(1);
+    EXPECT_FALSE(blocked.ok());
+    EXPECT_NE(blocked.error.find("clogged"), std::string::npos);
+    EXPECT_NE(blocked.error.find("prime_tips"), std::string::npos);
+    EXPECT_FALSE(bench.cell.plates.get(bench.plate).is_filled(1));
+
+    bench.ot2->prime_tips();
+    EXPECT_FALSE(bench.ot2->needs_prime());
+    ASSERT_TRUE(bench.mix(1).ok());
+    // ...and pipetting again re-latches it at clog_prob = 1.
+    EXPECT_TRUE(bench.ot2->needs_prime());
+}
+
+TEST(Ot2, ClogChainIsSeedDeterministic) {
+    // Same noise_seed => the same protocols clog, run for run.
+    const auto chain_of = [](std::uint64_t seed) {
+        ClogBench bench(0.35, seed);
+        std::vector<bool> clogged;
+        for (int well = 0; well < 24; ++well) {
+            if (bench.ot2->needs_prime()) bench.ot2->prime_tips();
+            EXPECT_TRUE(bench.mix(well).ok());
+            clogged.push_back(bench.ot2->needs_prime());
+        }
+        return clogged;
+    };
+    const std::vector<bool> first = chain_of(0xC10C);
+    EXPECT_EQ(first, chain_of(0xC10C));
+    // The chain actually fires and actually spares at this rate.
+    EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+    EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+    // A different seed draws a different chain.
+    EXPECT_NE(first, chain_of(0xFACE));
+}
+
+TEST(Ot2, ClogChainLeavesDispenseNoiseUntouched) {
+    // The chain rolls on a dedicated rng stream: enabling it must not
+    // shift the dispense-noise draws, or clog_prob would change every
+    // measured color in a generated scenario.
+    ClogBench with(1.0);
+    ClogBench without(0.0);
+    ASSERT_TRUE(with.mix(0).ok());
+    ASSERT_TRUE(without.mix(0).ok());
+    const auto& with_content = with.cell.plates.get(with.plate).content(0);
+    const auto& without_content = without.cell.plates.get(without.plate).content(0);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(with_content.volumes[i].to_microliters(),
+                         without_content.volumes[i].to_microliters());
+    }
+}
+
+TEST(Barty, PrimeTipsClearsClogThroughTheHook) {
+    ClogBench bench(1.0);
+    BartySim barty(BartyConfig{}, bench.ot2->reservoirs());
+    barty.set_prime_hook([&] { bench.ot2->prime_tips(); });
+
+    ASSERT_TRUE(bench.mix(0).ok());
+    ASSERT_TRUE(bench.ot2->needs_prime());
+    ASSERT_TRUE(barty.execute(request_of("barty", "prime_tips")).ok());
+    EXPECT_FALSE(bench.ot2->needs_prime());
+
+    // Priming is real robotic work: it takes barty's prime time and,
+    // being robotic, counts toward commands-completed-without-humans.
+    EXPECT_GT(barty.estimate(request_of("barty", "prime_tips")).to_seconds(), 0.0);
+    EXPECT_TRUE(barty.info().robotic);
+}
+
+TEST(Manual, BartyStandInPrimesButIsExcludedFromCcwh) {
+    ClogBench bench(1.0);
+    ManualConfig config;
+    config.stand_in_for = "barty";
+    ManualOperatorSim manual(config, bench.cell.plates, bench.cell.locations,
+                             &bench.ot2->reservoirs());
+    manual.set_prime_hook([&] { bench.ot2->prime_tips(); });
+
+    ASSERT_TRUE(bench.mix(0).ok());
+    ASSERT_TRUE(bench.ot2->needs_prime());
+    ASSERT_TRUE(manual.execute(request_of("barty", "prime_tips")).ok());
+    EXPECT_FALSE(bench.ot2->needs_prime());
+    // A human back-flushing tips is an intervention, not autonomous
+    // throughput: the stand-in is non-robotic, so CCWH excludes it.
+    EXPECT_FALSE(manual.info().robotic);
 }
 
 // ----------------------------------------------------------------- camera

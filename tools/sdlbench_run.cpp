@@ -103,10 +103,12 @@ void print_usage(std::FILE* stream) {
                  "                     instead of static shards, automatic re-lease\n"
                  "                     on worker death, live-merged reports\n"
                  "  --scenario <ref>   run the experiment on a named workcell\n"
-                 "                     scenario (see --list-scenarios) or a\n"
-                 "                     workcell spec YAML file; composes with an\n"
-                 "                     experiment file or --preset (default:\n"
-                 "                     the quickstart preset)\n"
+                 "                     scenario (see --list-scenarios), a workcell\n"
+                 "                     spec YAML file, or a procedurally generated\n"
+                 "                     scenario (generated:seed=<K>; see\n"
+                 "                     sdlbench_gen); composes with an experiment\n"
+                 "                     file or --preset (default: the quickstart\n"
+                 "                     preset)\n"
                  "  --list-scenarios   print the workcell scenario registry and\n"
                  "                     exit\n"
                  "  --json <path>      also write the structured result document\n"
@@ -139,7 +141,9 @@ int list_scenarios() {
         table.add_row({name, devices, spec.description});
     }
     std::printf("Workcell scenarios (pass to --scenario or a campaign's grid.workcells;\n"
-                "YAML sources in examples/scenarios/, schema in docs/SCENARIOS.md):\n\n%s",
+                "YAML sources in examples/scenarios/, schema in docs/SCENARIOS.md):\n\n%s"
+                "\nProcedural scenarios: generated:seed=<K> (any K; campaigns may fan\n"
+                "out generated:seed=<K>..<M>). See sdlbench_gen and docs/SCENARIOS.md.\n",
                 table.str().c_str());
     return 0;
 }
