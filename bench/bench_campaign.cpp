@@ -14,7 +14,6 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -23,6 +22,7 @@
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "core/presets.hpp"
+#include "support/atomic_io.hpp"
 #include "support/json.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
@@ -229,13 +229,12 @@ int main(int argc, char** argv) {
     fleet_model.set("modeled_improvement_pct", improvement);
     scheduler.set("fleet_vs_static3", std::move(fleet_model));
     bench.set("scheduler", std::move(scheduler));
-    {
-        std::ofstream out("BENCH_campaign.json", std::ios::binary);
-        out << bench.pretty() << "\n";
-        if (!out) {
-            std::fprintf(stderr, "error: failed to write BENCH_campaign.json\n");
-            return 1;
-        }
+    try {
+        support::atomic_write("BENCH_campaign.json", bench.pretty() + "\n");
+    } catch (const support::Error& error) {
+        std::fprintf(stderr, "error: failed to write BENCH_campaign.json: %s\n",
+                     error.what());
+        return 1;
     }
     std::printf("Wrote BENCH_campaign.json\n");
     return 0;

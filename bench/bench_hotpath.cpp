@@ -11,7 +11,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -24,6 +23,7 @@
 #include "linalg/backend.hpp"
 #include "prepr_reference.hpp"
 #include "solver/bayes.hpp"
+#include "support/atomic_io.hpp"
 #include "support/json.hpp"
 #include "support/log.hpp"
 #include "support/random.hpp"
@@ -447,13 +447,12 @@ int main(int argc, char** argv) {
         loop.push_back(std::move(entry));
     }
     bench.set("loop", std::move(loop));
-    {
-        std::ofstream out("BENCH_hotpath.json", std::ios::binary);
-        out << bench.pretty() << "\n";
-        if (!out) {
-            std::fprintf(stderr, "error: failed to write BENCH_hotpath.json\n");
-            return 1;
-        }
+    try {
+        support::atomic_write("BENCH_hotpath.json", bench.pretty() + "\n");
+    } catch (const support::Error& error) {
+        std::fprintf(stderr, "error: failed to write BENCH_hotpath.json: %s\n",
+                     error.what());
+        return 1;
     }
     std::printf("\nWrote BENCH_hotpath.json\n");
     return 0;

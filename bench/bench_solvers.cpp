@@ -97,25 +97,25 @@ int main() {
             ys.push_back(std::sin(3.0 * x[0]) + x[1] * x[1] + 0.05 * rng.normal(0, 1));
             xs.push_back(std::move(x));
         }
-        const auto clock = [] { return std::chrono::steady_clock::now(); };
+        const auto now = [] { return std::chrono::steady_clock::now(); };
 
-        auto t0 = clock();
+        auto t0 = now();
         solver::GaussianProcess refit;
         for (std::size_t n = kBase; n <= kBase + kAdded; ++n) {
             refit.fit({xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(n)},
                       {ys.begin(), ys.begin() + static_cast<std::ptrdiff_t>(n)},
                       /*optimize=*/false);
         }
-        const double refit_s = std::chrono::duration<double>(clock() - t0).count();
+        const double refit_s = std::chrono::duration<double>(now() - t0).count();
 
-        t0 = clock();
+        t0 = now();
         solver::GaussianProcess incremental;
         incremental.fit({xs.begin(), xs.begin() + kBase},
                         {ys.begin(), ys.begin() + kBase}, /*optimize=*/false);
         for (std::size_t i = kBase; i < kBase + kAdded; ++i) {
             incremental.observe(xs[i], ys[i]);
         }
-        const double incr_s = std::chrono::duration<double>(clock() - t0).count();
+        const double incr_s = std::chrono::duration<double>(now() - t0).count();
 
         std::printf("\nGP update path (%zu -> %zu points, fixed hyperparams):\n"
                     "  full refit per point: %8.2f ms\n"

@@ -1,9 +1,7 @@
 #include "campaign/fleet.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <deque>
@@ -12,7 +10,6 @@
 #include <functional>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -25,6 +22,8 @@
 #include "support/atomic_io.hpp"
 #include "support/channel.hpp"
 #include "support/common.hpp"
+#include "support/csv.hpp"
+#include "support/mutex.hpp"
 #include "support/subprocess.hpp"
 
 #if !defined(_WIN32)
@@ -35,6 +34,7 @@ namespace sdl::campaign {
 
 namespace {
 
+// sdlbench-lint: allow(steady-clock): heartbeat deadlines and makespan are operational wall time, never report bytes
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
@@ -150,12 +150,6 @@ struct WorkerState {
     bool send_failed = false;
 };
 
-std::string fmt_seconds(double s) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%g", s);
-    return buf;
-}
-
 }  // namespace
 
 FleetResult run_fleet(const std::string& spec_path, const std::string& out_dir,
@@ -219,7 +213,7 @@ FleetResult run_fleet(const std::string& spec_path, const std::string& out_dir,
             "--campaign", spec_path,
             "--dir", w.dir,
             "--expect-digest", digest,
-            "--heartbeat-interval", fmt_seconds(options.heartbeat_interval_s)};
+            "--heartbeat-interval", support::fmt_roundtrip(options.heartbeat_interval_s)};
         if (!options.backend.empty()) {
             argv.push_back("--backend");
             argv.push_back(options.backend);
@@ -281,6 +275,7 @@ FleetResult run_fleet(const std::string& spec_path, const std::string& out_dir,
             table.complete(index);  // throws if any worker already did this cell
             summary.busy_s += record.wall_seconds;
             if (options.log_progress) {
+                // sdlbench-lint: allow(printf-float): stdout progress line, never serialized into an artifact
                 std::printf("  [%zu/%zu] %s best=%.2f (w%d, %.1fs)\n",
                             table.done_count(), grid.size(),
                             record.cell.config.experiment_id.c_str(),
@@ -479,9 +474,9 @@ int run_fleet_worker(const FleetWorkerOptions& options) {
 
     // stdout carries the protocol; acks (main thread) and beats
     // (heartbeat thread) must not interleave mid-line.
-    std::mutex out_mutex;
+    support::Mutex out_mutex;
     const auto send = [&out_mutex](const std::string& line) {
-        std::lock_guard lock(out_mutex);
+        support::MutexLock lock(out_mutex);
         return support::write_line_fd(1, line);
     };
 
@@ -498,15 +493,22 @@ int run_fleet_worker(const FleetWorkerOptions& options) {
     });
     reader.detach();
 
-    std::atomic<bool> stopping{false};
-    std::mutex hb_mutex;
-    std::condition_variable hb_cv;
+    // The stop flag is written under hb_mutex and the notify happens
+    // after the locked store — storing it unlocked (the old atomic
+    // version) left a lost-wake-up window between the heartbeat
+    // thread's predicate check and its block, costing one extra
+    // interval of shutdown latency.
+    support::Mutex hb_mutex;
+    support::CondVar hb_cv;
+    bool hb_stop = false;  // guarded by hb_mutex
     std::thread heartbeat([&] {
-        std::unique_lock lock(hb_mutex);
         const auto interval = std::chrono::duration<double>(
             std::max(0.05, options.heartbeat_interval_s));
-        while (!hb_cv.wait_for(lock, interval, [&] { return stopping.load(); })) {
-            if (!send(format_beat())) return;  // coordinator gone
+        support::MutexLock lock(hb_mutex);
+        while (!hb_stop) {
+            if (hb_cv.wait_for(hb_mutex, interval) == std::cv_status::timeout) {
+                if (!send(format_beat())) return;  // coordinator gone
+            }
         }
     });
 
@@ -581,7 +583,10 @@ int run_fleet_worker(const FleetWorkerOptions& options) {
         if (!send(format_ack(cell))) break;  // coordinator is gone
     }
 
-    stopping.store(true);
+    {
+        support::MutexLock lock(hb_mutex);
+        hb_stop = true;
+    }
     hb_cv.notify_all();
     heartbeat.join();
     return exit_code;

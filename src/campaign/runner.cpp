@@ -1,12 +1,12 @@
 #include "campaign/runner.hpp"
 
 #include <chrono>
-#include <mutex>
 #include <utility>
 
 #include "campaign/cost_model.hpp"
 #include "core/colorpicker.hpp"
 #include "support/log.hpp"
+#include "support/mutex.hpp"
 
 namespace sdl::campaign {
 
@@ -40,7 +40,7 @@ std::vector<CellResult> CampaignRunner::run_cells(std::vector<CampaignCell> cell
     // Serializes completion handling: the progress log line and the
     // on_cell_done hook (see runner.hpp). Pool workers would otherwise
     // interleave a journaling callback's writes.
-    std::mutex done_mutex;
+    support::Mutex done_mutex;
     std::size_t done = 0;
 
     support::ParallelOptions parallel;
@@ -50,15 +50,17 @@ std::vector<CellResult> CampaignRunner::run_cells(std::vector<CampaignCell> cell
         total,
         [&](std::size_t k) {
             const std::size_t i = order[k];
+            // sdlbench-lint: allow(steady-clock): wall_seconds is journal-only telemetry; campaign.json reports modeled time
             const auto started = std::chrono::steady_clock::now();
             CellResult result;
             result.cell = std::move(cells[i]);
             result.outcome = core::ColorPickerApp(result.cell.config).run();
             result.wall_seconds =
+                // sdlbench-lint: allow(steady-clock): wall_seconds is journal-only telemetry; campaign.json reports modeled time
                 std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
                     .count();
             {
-                std::lock_guard lock(done_mutex);
+                support::MutexLock lock(done_mutex);
                 const std::size_t finished = ++done;
                 if (options_.log_progress) {
                     support::log_info("campaign", "[", finished, "/", total, "] ",

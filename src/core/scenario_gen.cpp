@@ -3,11 +3,11 @@
 #include <charconv>
 #include <cmath>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "core/colorpicker.hpp"
 #include "support/common.hpp"
+#include "support/mutex.hpp"
 #include "support/random.hpp"
 
 namespace sdl::core {
@@ -258,10 +258,10 @@ WorkcellSpec generate_scenario(std::uint64_t seed) {
 }
 
 double generated_difficulty(std::uint64_t seed) {
-    static std::mutex mutex;
+    static support::Mutex mutex;
     static std::map<std::uint64_t, double> cache;
     {
-        const std::lock_guard<std::mutex> lock(mutex);
+        const support::MutexLock lock(mutex);
         const auto it = cache.find(seed);
         if (it != cache.end()) {
             return it->second;
@@ -271,7 +271,7 @@ double generated_difficulty(std::uint64_t seed) {
     // seeds should not serialize on one mutex. A duplicate probe of the
     // same seed is deterministic, so last-write-wins is harmless.
     const double score = probe_difficulty(seed);
-    const std::lock_guard<std::mutex> lock(mutex);
+    const support::MutexLock lock(mutex);
     return cache.emplace(seed, score).first->second;
 }
 

@@ -1,8 +1,8 @@
 #include "data/artifacts.hpp"
 
 #include <filesystem>
-#include <fstream>
 
+#include "support/atomic_io.hpp"
 #include "support/common.hpp"
 
 namespace sdl::data {
@@ -23,9 +23,7 @@ std::size_t write_run_artifacts(const wei::EventLog& log, const std::string& dir
         const std::string name = run.at("name").as_string();
         const std::string path =
             directory + "/" + std::to_string(written) + "_" + name + ".json";
-        std::ofstream file(path);
-        if (!file) throw support::Error("io", "cannot write artifact '" + path + "'");
-        file << run.pretty() << "\n";
+        support::atomic_write(path, run.pretty() + "\n");
         ++written;
     }
     return written;

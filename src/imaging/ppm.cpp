@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/atomic_io.hpp"
 #include "support/common.hpp"
 
 namespace sdl::imaging {
@@ -54,10 +55,7 @@ Image parse_ppm(std::istream& in, const std::string& what) {
 }  // namespace
 
 void save_ppm(const Image& img, const std::string& path) {
-    std::ofstream file(path, std::ios::binary);
-    if (!file) throw support::Error("io", "cannot open '" + path + "' for writing");
-    file << encode_ppm(img);
-    if (!file) throw support::Error("io", "failed writing '" + path + "'");
+    support::atomic_write(path, encode_ppm(img));
 }
 
 Image load_ppm(const std::string& path) {
@@ -67,17 +65,20 @@ Image load_ppm(const std::string& path) {
 }
 
 void save_pgm(const GrayImage& img, const std::string& path) {
-    std::ofstream file(path, std::ios::binary);
-    if (!file) throw support::Error("io", "cannot open '" + path + "' for writing");
-    file << "P5\n" << img.width() << " " << img.height() << "\n255\n";
+    std::string out;
+    char header[64];
+    std::snprintf(header, sizeof(header), "P5\n%d %d\n255\n", img.width(), img.height());
+    out += header;
+    out.reserve(out.size() +
+                static_cast<std::size_t>(img.width()) * static_cast<std::size_t>(img.height()));
     for (int y = 0; y < img.height(); ++y) {
         for (int x = 0; x < img.width(); ++x) {
             const float v = img.at(x, y);
             const long q = std::lround(support::clamp(v, 0.0F, 1.0F) * 255.0F);
-            file.put(static_cast<char>(q));
+            out.push_back(static_cast<char>(q));
         }
     }
-    if (!file) throw support::Error("io", "failed writing '" + path + "'");
+    support::atomic_write(path, out);
 }
 
 std::string encode_ppm(const Image& img) {

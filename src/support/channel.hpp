@@ -5,13 +5,18 @@
 // and the module's device thread replies on a response channel — data
 // moves between threads by cooperative send/receive operations rather
 // than shared mutable state (the MPI model, applied in-process).
+//
+// Queue and closed flag are guarded by an annotated support::Mutex
+// (mutex.hpp): clang -Wthread-safety proves every access is under the
+// lock, and the `tsan` preset exercises the same paths dynamically.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sdl::support {
 
@@ -26,13 +31,14 @@ public:
 
     /// Blocking send. Returns false if the channel was closed.
     bool send(T value) {
-        std::unique_lock lock(mutex_);
-        not_full_.wait(lock, [this] {
-            return closed_ || capacity_ == 0 || queue_.size() < capacity_;
-        });
-        if (closed_) return false;
-        queue_.push_back(std::move(value));
-        lock.unlock();
+        {
+            MutexLock lock(mutex_);
+            while (!closed_ && capacity_ != 0 && queue_.size() >= capacity_) {
+                not_full_.wait(mutex_);
+            }
+            if (closed_) return false;
+            queue_.push_back(std::move(value));
+        }
         not_empty_.notify_one();
         return true;
     }
@@ -40,7 +46,7 @@ public:
     /// Non-blocking send; fails if full or closed.
     bool try_send(T value) {
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             if (closed_ || (capacity_ != 0 && queue_.size() >= capacity_)) {
                 return false;
             }
@@ -52,23 +58,27 @@ public:
 
     /// Blocking receive. Empty optional means closed-and-drained.
     std::optional<T> receive() {
-        std::unique_lock lock(mutex_);
-        not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-        if (queue_.empty()) return std::nullopt;
-        T value = std::move(queue_.front());
-        queue_.pop_front();
-        lock.unlock();
+        std::optional<T> value;
+        {
+            MutexLock lock(mutex_);
+            while (!closed_ && queue_.empty()) not_empty_.wait(mutex_);
+            if (queue_.empty()) return std::nullopt;
+            value.emplace(std::move(queue_.front()));
+            queue_.pop_front();
+        }
         not_full_.notify_one();
         return value;
     }
 
     /// Non-blocking receive.
     std::optional<T> try_receive() {
-        std::unique_lock lock(mutex_);
-        if (queue_.empty()) return std::nullopt;
-        T value = std::move(queue_.front());
-        queue_.pop_front();
-        lock.unlock();
+        std::optional<T> value;
+        {
+            MutexLock lock(mutex_);
+            if (queue_.empty()) return std::nullopt;
+            value.emplace(std::move(queue_.front()));
+            queue_.pop_front();
+        }
         not_full_.notify_one();
         return value;
     }
@@ -76,7 +86,7 @@ public:
     /// Closes the channel: senders fail, receivers drain then get nullopt.
     void close() {
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             closed_ = true;
         }
         not_empty_.notify_all();
@@ -84,22 +94,22 @@ public:
     }
 
     [[nodiscard]] bool closed() const {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         return closed_;
     }
 
     [[nodiscard]] std::size_t size() const {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         return queue_.size();
     }
 
 private:
-    mutable std::mutex mutex_;
-    std::condition_variable not_empty_;
-    std::condition_variable not_full_;
-    std::deque<T> queue_;
+    mutable Mutex mutex_;
+    CondVar not_empty_;
+    CondVar not_full_;
+    std::deque<T> queue_ SDL_GUARDED_BY(mutex_);
     std::size_t capacity_;
-    bool closed_ = false;
+    bool closed_ SDL_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace sdl::support

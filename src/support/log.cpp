@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "support/mutex.hpp"
 
 namespace sdl::support {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_mutex;
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) noexcept {
     switch (level) {
@@ -28,7 +29,7 @@ LogLevel log_level() noexcept { return g_level.load(); }
 
 void log_message(LogLevel level, std::string_view component, std::string_view message) {
     if (level < log_level()) return;
-    std::lock_guard lock(g_mutex);
+    MutexLock lock(g_mutex);
     std::fprintf(stderr, "[%s] [%.*s] %.*s\n", level_name(level),
                  static_cast<int>(component.size()), component.data(),
                  static_cast<int>(message.size()), message.data());

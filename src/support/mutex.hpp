@@ -1,0 +1,96 @@
+// Annotated synchronization primitives: Mutex, MutexLock, CondVar.
+//
+// Thin wrappers over std::mutex / std::condition_variable that carry the
+// clang thread-safety capability annotations (thread_annotations.hpp).
+// All mutex-guarded state in sdlbench uses these instead of the std
+// types directly, so `clang -Wthread-safety` statically proves the
+// lock/state relationships that the determinism contract depends on
+// (serialized journal appends, ordered completion hooks, channel state).
+//
+// The wrappers add no overhead: Mutex is layout-identical to std::mutex,
+// MutexLock is lock_guard-shaped, and CondVar keeps the futex-backed
+// std::condition_variable by adopting/releasing the underlying
+// std::mutex around each wait (the libc++/abseil technique — the
+// capability stays "held" across the wait from the analysis' point of
+// view, which matches the caller's view of a predicate wait).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "support/thread_annotations.hpp"
+
+namespace sdl::support {
+
+class CondVar;
+
+/// Annotated exclusive mutex. Prefer MutexLock over manual lock/unlock.
+class SDL_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() SDL_ACQUIRE() { m_.lock(); }
+    void unlock() SDL_RELEASE() { m_.unlock(); }
+    [[nodiscard]] bool try_lock() SDL_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+private:
+    friend class CondVar;
+    std::mutex m_;
+};
+
+/// RAII scope lock (lock_guard with a scoped-capability annotation).
+class SDL_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mu) SDL_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~MutexLock() SDL_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    Mutex& mu_;
+};
+
+/// Condition variable for Mutex. Waits take the Mutex plus a predicate;
+/// the caller must already hold the lock (enforced by SDL_REQUIRES).
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    /// One blocking wait (subject to spurious wake-ups). Callers loop on
+    /// their guarded condition: `while (!ready_) cv.wait(mutex_);` —
+    /// preferred over predicate-lambda overloads because the loop body
+    /// sits inside the caller's locked scope, where the thread-safety
+    /// analysis can see the guarded reads.
+    void wait(Mutex& mu) SDL_REQUIRES(mu) {
+        std::unique_lock<std::mutex> lock(mu.m_, std::adopt_lock);
+        cv_.wait(lock);
+        lock.release();  // the caller still owns the mutex
+    }
+
+    /// Timed wait; std::cv_status::timeout when the duration elapsed.
+    /// Same spurious-wake-up contract as wait().
+    template <typename Rep, typename Period>
+    std::cv_status wait_for(Mutex& mu,
+                            const std::chrono::duration<Rep, Period>& timeout)
+        SDL_REQUIRES(mu) {
+        std::unique_lock<std::mutex> lock(mu.m_, std::adopt_lock);
+        const std::cv_status status = cv_.wait_for(lock, timeout);
+        lock.release();
+        return status;
+    }
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+private:
+    std::condition_variable cv_;
+};
+
+}  // namespace sdl::support

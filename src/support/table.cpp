@@ -67,6 +67,7 @@ std::string TextTable::str() const {
 
 std::string fmt_double(double value, int decimals) {
     char buf[64];
+    // sdlbench-lint: allow(printf-float): fixed-decimals table cell for humans; artifacts use fmt_roundtrip
     std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
     return buf;
 }

@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     cv_.notify_all();
@@ -34,12 +34,9 @@ void ThreadPool::worker_loop() {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock lock(mutex_);
-            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty()) {
-                if (stopping_) return;
-                continue;
-            }
+            MutexLock lock(mutex_);
+            while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
+            if (queue_.empty()) return;  // only reachable when stopping
             task = std::move(queue_.front());
             queue_.pop_front();
         }

@@ -5,18 +5,23 @@
 // seeds, and batch-rendering synthetic camera frames. Work distribution
 // for parallel_for is block-cyclic to keep load balanced when item costs
 // vary (the OpenMP "schedule(static, chunk)" idiom).
+//
+// All shared state is guarded by an annotated support::Mutex
+// (mutex.hpp), so the lock/state relationships below are checked by
+// clang -Wthread-safety and exercised under the `tsan` preset.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sdl::support {
 
@@ -52,7 +57,7 @@ public:
         auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
         std::future<R> result = task->get_future();
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             if (stopping_) {
                 throw std::runtime_error("ThreadPool: submit after shutdown");
             }
@@ -108,15 +113,18 @@ public:
 
         struct State {
             explicit State(std::size_t count) : slots(count), n(count) {}
+            // Result slots are disjoint per index and are only read after
+            // every drain has exited (the mutex release/acquire pair
+            // below publishes them), so they carry no guard of their own.
             std::vector<std::optional<R>> slots;
             std::size_t n;
             std::atomic<std::size_t> next{0};
             std::atomic<bool> failed{false};
-            std::mutex mutex;
-            std::condition_variable done_cv;
-            std::size_t items_done = 0;  // guarded by mutex
-            int active_drains = 0;       // guarded by mutex
-            std::exception_ptr first_error;
+            Mutex mutex;
+            CondVar done_cv;
+            std::size_t items_done SDL_GUARDED_BY(mutex) = 0;
+            int active_drains SDL_GUARDED_BY(mutex) = 0;
+            std::exception_ptr first_error SDL_GUARDED_BY(mutex);
         };
         auto state = std::make_shared<State>(n);
 
@@ -125,7 +133,7 @@ public:
         // work is claimed (or failed) and every active drain has exited.
         auto drain_loop = [state, &fn, chunk] {
             {
-                std::lock_guard lock(state->mutex);
+                MutexLock lock(state->mutex);
                 ++state->active_drains;
             }
             std::size_t completed_here = 0;
@@ -141,7 +149,7 @@ public:
                         state->slots[i].emplace(fn(i));
                         ++completed_here;
                     } catch (...) {
-                        std::lock_guard lock(state->mutex);
+                        MutexLock lock(state->mutex);
                         if (!state->first_error) {
                             state->first_error = std::current_exception();
                         }
@@ -152,7 +160,7 @@ public:
                 }
                 if (threw) break;
             }
-            std::lock_guard lock(state->mutex);
+            MutexLock lock(state->mutex);
             state->items_done += completed_here;
             --state->active_drains;
             state->done_cv.notify_all();
@@ -164,12 +172,12 @@ public:
         for (std::size_t w = 1; w < workers; ++w) (void)submit(drain_loop);
         drain_loop();  // The calling thread participates.
 
-        std::unique_lock lock(state->mutex);
-        state->done_cv.wait(lock, [&] {
-            return state->active_drains == 0 &&
-                   (state->items_done == state->n ||
-                    state->failed.load(std::memory_order_relaxed));
-        });
+        MutexLock lock(state->mutex);
+        while (state->active_drains != 0 ||
+               (state->items_done != state->n &&
+                !state->failed.load(std::memory_order_relaxed))) {
+            state->done_cv.wait(state->mutex);
+        }
         if (state->first_error) std::rethrow_exception(state->first_error);
 
         std::vector<R> out;
@@ -182,10 +190,10 @@ private:
     void worker_loop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stopping_ = false;
+    Mutex mutex_;
+    CondVar cv_;
+    std::deque<std::function<void()>> queue_ SDL_GUARDED_BY(mutex_);
+    bool stopping_ SDL_GUARDED_BY(mutex_) = false;
 };
 
 /// Parses an SDLBENCH_WORKERS-style value: a positive integer is a pool

@@ -18,6 +18,7 @@ std::string Duration::pretty() const {
         const int sec = static_cast<int>(std::lround(s - m * 60.0));
         std::snprintf(buf, sizeof(buf), "%d m %d s", m, sec);
     } else {
+        // sdlbench-lint: allow(printf-float): pretty() renders durations for humans, never for artifact bytes
         std::snprintf(buf, sizeof(buf), "%.1f s", s);
     }
     return buf;
@@ -26,8 +27,10 @@ std::string Duration::pretty() const {
 std::string Volume::pretty() const {
     char buf[64];
     if (std::fabs(ul_) >= 1000.0) {
+        // sdlbench-lint: allow(printf-float): pretty() renders volumes for humans, never for artifact bytes
         std::snprintf(buf, sizeof(buf), "%.2f mL", ul_ / 1000.0);
     } else {
+        // sdlbench-lint: allow(printf-float): pretty() renders volumes for humans, never for artifact bytes
         std::snprintf(buf, sizeof(buf), "%.1f uL", ul_);
     }
     return buf;

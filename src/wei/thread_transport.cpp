@@ -45,7 +45,7 @@ void ThreadTransport::serve(Module& module, support::Channel<Envelope>& inbox) {
             result.duration = duration;
         }
         {
-            std::lock_guard lock(clock_mutex_);
+            support::MutexLock lock(clock_mutex_);
             modeled_elapsed_s_ += result.duration.to_seconds();
         }
         envelope->reply.set_value(std::move(result));
@@ -68,14 +68,14 @@ ActionResult ThreadTransport::execute(const ActionRequest& request) {
 }
 
 support::TimePoint ThreadTransport::now() const {
-    std::lock_guard lock(const_cast<std::mutex&>(clock_mutex_));
+    support::MutexLock lock(clock_mutex_);
     return support::TimePoint::from_seconds(modeled_elapsed_s_);
 }
 
 void ThreadTransport::wait(support::Duration duration) {
     std::this_thread::sleep_for(
         std::chrono::duration<double>(duration.to_seconds() * time_scale_));
-    std::lock_guard lock(clock_mutex_);
+    support::MutexLock lock(clock_mutex_);
     modeled_elapsed_s_ += duration.to_seconds();
 }
 

@@ -11,6 +11,8 @@
 #include <thread>
 
 #include "support/channel.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 #include "wei/faults.hpp"
 #include "wei/module.hpp"
 #include "wei/transport.hpp"
@@ -55,8 +57,10 @@ private:
     double time_scale_;
     FaultInjector* faults_;
     std::map<std::string, DeviceServer> servers_;
-    std::mutex clock_mutex_;
-    double modeled_elapsed_s_ = 0.0;
+    // mutable so const readers (now()) can lock without const_cast —
+    // the lock is how a read becomes safe, not a logical mutation.
+    mutable support::Mutex clock_mutex_;
+    double modeled_elapsed_s_ SDL_GUARDED_BY(clock_mutex_) = 0.0;
 };
 
 }  // namespace sdl::wei

@@ -242,7 +242,9 @@ int main(int argc, char** argv) {
         const campaign::FleetResult fleet = campaign::run_fleet(campaign_path, out_dir,
                                                                 options);
         const campaign::FleetSummary& s = fleet.summary;
+        // sdlbench-lint: allow(printf-float): terminal summary line; fleet_summary.json carries the round-trip values
         std::printf("\nFleet done: %zu cells, makespan %.1fs, busy %.1fs, "
+                    // sdlbench-lint: allow(printf-float): continuation of the same terminal summary line
                     "efficiency %.0f%% (%zu workers",
                     s.cells, s.makespan_s, s.busy_s, s.efficiency * 100.0,
                     s.workers_started);

@@ -118,6 +118,7 @@ int main(int argc, char** argv) {
             if (difficulty) {
                 const double score = core::generated_difficulty(seed);
                 entry.set("difficulty", score);
+                // sdlbench-lint: allow(printf-float): terminal listing; --json output goes through the json layer
                 std::printf("%-10s %-8s %-8d %-7d %.3f\n", spec.name.c_str(),
                             plate.c_str(), device_count, ot2s, score);
             } else {

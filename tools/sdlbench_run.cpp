@@ -177,6 +177,7 @@ int run_single(const core::ColorPickerConfig& config, const std::string& out_dir
     core::ColorPickerApp app(config);
     const core::ExperimentOutcome outcome = app.run();
 
+    // sdlbench-lint: allow(printf-float): terminal result line; report.json carries the round-trip score
     std::printf("\nBest match: %s (score %.2f) after %zu samples\n",
                 outcome.best_color.str().c_str(), outcome.best_score,
                 outcome.samples.size());
@@ -302,6 +303,7 @@ int run_campaign(const std::string& spec_path, const std::string& out_dir,
     options.on_cell_done = [&journal](const campaign::CellResult& result,
                                       std::size_t done_count, std::size_t total) {
         journal->append(result);
+        // sdlbench-lint: allow(printf-float): per-cell progress line on stdout; campaign.json is the artifact
         std::printf("  [%zu/%zu] %s best=%.2f (%.1fs)\n", done_count, total,
                     result.cell.config.experiment_id.c_str(), result.outcome.best_score,
                     result.wall_seconds);
