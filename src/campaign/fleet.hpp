@@ -36,6 +36,17 @@
 // byte-identical to a single-process uninterrupted run, including when
 // workers are SIGKILLed mid-campaign. Duplicates stay loud end to end
 // (LeaseTable::complete throws on a twice-completed cell).
+//
+// Self-healing (docs/ROBUSTNESS.md): dead workers are respawned into
+// fresh per-incarnation directories with capped exponential backoff
+// instead of shrinking the pool; a cell that kills `quarantine_after`
+// distinct worker incarnations is quarantined (reported in
+// campaign.json, never re-leased); and every spawn/crash/quarantine is
+// written ahead to a fsync'd coordinator ledger (coordinator.jsonl) so
+// `sdlbench_fleet --resume <dir>` can restart a killed coordinator from
+// the ledger plus the worker journals — still byte-identical to an
+// uninterrupted run. Fault injection for all of this rides on
+// support/failpoint.hpp sites rather than bespoke chaos flags.
 #pragma once
 
 #include <cstddef>
@@ -44,6 +55,7 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 
 namespace sdl::campaign {
@@ -102,17 +114,44 @@ struct FleetOptions {
     /// Fault injection for the crash-recovery tests: worker
     /// `chaos_kill_worker` raises SIGKILL on itself right after its
     /// `chaos_kill_after`-th journal append — after the record is
-    /// durable, before the ack leaves. -1 disables.
+    /// durable, before the ack leaves. -1 disables. Sugar for a
+    /// worker_failpoints entry `worker.pre_ack_kill=kill@N#1`.
     int chaos_kill_worker = -1;
     std::size_t chaos_kill_after = 0;
+    /// Failpoint schedules injected into workers via SDLBENCH_FAILPOINTS
+    /// (the coordinator always sets that variable for its children, so
+    /// its own environment never leaks into them). slot >= 0 applies to
+    /// generation 0 of that slot only — respawns come up clean, which is
+    /// how the respawn path is tested; slot == -1 ("*") applies to every
+    /// incarnation, which is how crash loops are provoked.
+    struct WorkerFailpoint {
+        int slot = -1;
+        std::string spec;
+    };
+    std::vector<WorkerFailpoint> worker_failpoints;
+    /// A cell that has crashed this many DISTINCT worker incarnations is
+    /// quarantined: removed from the schedule and reported in
+    /// campaign.json with its crash history.
+    std::size_t quarantine_after = 3;
+    /// Per-slot respawn budget; a slot that exhausts it is retired.
+    std::size_t max_respawns = 8;
+    /// Respawn backoff: min(cap, base * 2^consecutive_crashes). The
+    /// streak resets on any successful ack from that slot.
+    double respawn_backoff_s = 0.25;
+    double respawn_backoff_cap_s = 5.0;
+    /// Restart a killed coordinator from out_dir's coordinator.jsonl
+    /// ledger + worker journals instead of demanding a clean directory.
+    bool resume = false;
 };
 
 struct FleetSummary {
     std::size_t cells = 0;
     std::size_t workers_started = 0;
     std::size_t workers_lost = 0;     ///< died or declared hung
+    std::size_t workers_respawned = 0;
     std::size_t cells_salvaged = 0;   ///< journaled by a dead worker, unacked
     std::size_t cells_releases = 0;   ///< re-leased after a worker loss
+    std::size_t cells_quarantined = 0;
     double makespan_s = 0.0;          ///< coordinator wall time
     double busy_s = 0.0;              ///< sum of per-cell worker wall time
     /// busy_s / (makespan_s * workers_started) — 1.0 is a perfectly
@@ -122,9 +161,12 @@ struct FleetSummary {
 
 struct FleetResult {
     FleetSummary summary;
-    /// All cells, index-sorted — the same vector a single-process run
-    /// produces.
+    /// All completed cells, index-sorted — the same vector a
+    /// single-process run produces (minus any quarantined cells).
     std::vector<CellResult> results;
+    /// Crash-loop-contained cells with their crash histories; empty on
+    /// a healthy run.
+    std::vector<QuarantinedCell> quarantined;
 };
 
 /// Runs the campaign at `spec_path` across worker processes, writing
@@ -142,7 +184,6 @@ struct FleetWorkerOptions {
     std::string expect_digest;  ///< coordinator's spec digest (must match)
     std::string backend;
     double heartbeat_interval_s = 0.25;
-    std::size_t chaos_kill_after = 0;  ///< 0 = disabled
 };
 
 /// The worker-mode main loop: leases in on stdin, acks out on stdout,

@@ -8,7 +8,7 @@ namespace sdl::campaign {
 
 LeaseTable::LeaseTable(std::size_t cell_count, std::vector<std::size_t> order)
     : states_(cell_count, State::Pending), owner_(cell_count, -1),
-      rank_(cell_count, 0) {
+      rank_(cell_count, 0), crashes_(cell_count) {
     support::check(order.size() == cell_count,
                    "lease table order must be a permutation of the cells");
     std::vector<bool> seen(cell_count, false);
@@ -44,6 +44,13 @@ void LeaseTable::complete(std::size_t cell) {
                                   " completed twice — a worker executed a cell it did "
                                   "not own (duplicate results would corrupt the merge)");
     }
+    if (states_[cell] == State::Quarantined) {
+        throw support::LogicError(
+            "cell " + std::to_string(cell) +
+            " completed after quarantine — a worker was still running a cell "
+            "the coordinator had written off (quarantine must only happen "
+            "after every suspect worker is confirmed dead)");
+    }
     // Pending cells are NOT removed from the queue here (deque erase is
     // O(n)); grant() skips non-Pending entries instead.
     states_[cell] = State::Done;
@@ -68,6 +75,52 @@ std::vector<std::size_t> LeaseTable::revoke(int worker) {
         pending_.push_front(*it);
     }
     return revoked;
+}
+
+std::size_t LeaseTable::record_crash(std::size_t cell, long incarnation) {
+    support::check(cell < states_.size(), "record_crash() cell out of range");
+    if (states_[cell] == State::Done || states_[cell] == State::Quarantined) {
+        return 0;
+    }
+    std::vector<long>& burned = crashes_[cell];
+    if (std::find(burned.begin(), burned.end(), incarnation) == burned.end()) {
+        burned.push_back(incarnation);
+    }
+    return burned.size();
+}
+
+void LeaseTable::quarantine(std::size_t cell) {
+    support::check(cell < states_.size(), "quarantine() cell out of range");
+    if (states_[cell] == State::Done) {
+        throw support::LogicError("cell " + std::to_string(cell) +
+                                  " quarantined after completing — discarding a "
+                                  "finished result is never correct");
+    }
+    if (states_[cell] == State::Quarantined) {
+        throw support::LogicError("cell " + std::to_string(cell) +
+                                  " quarantined twice — coordinator crash "
+                                  "bookkeeping re-convicted a removed cell");
+    }
+    // grant() skips non-Pending queue entries, so no deque surgery needed.
+    states_[cell] = State::Quarantined;
+    owner_[cell] = -1;
+    ++quarantined_;
+}
+
+std::size_t LeaseTable::crash_count(std::size_t cell) const noexcept {
+    return cell < crashes_.size() ? crashes_[cell].size() : 0;
+}
+
+bool LeaseTable::is_quarantined(std::size_t cell) const noexcept {
+    return cell < states_.size() && states_[cell] == State::Quarantined;
+}
+
+std::vector<std::size_t> LeaseTable::quarantined() const {
+    std::vector<std::size_t> cells;
+    for (std::size_t cell = 0; cell < states_.size(); ++cell) {
+        if (states_[cell] == State::Quarantined) cells.push_back(cell);
+    }
+    return cells;
 }
 
 std::size_t LeaseTable::outstanding(int worker) const noexcept {

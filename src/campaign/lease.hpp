@@ -15,6 +15,13 @@
 // already-completed cell throws — that is the fleet's "no cell executed
 // twice" duplicate guard staying loud (the same discipline as the
 // journal loader's duplicate check).
+//
+// Crash-loop containment: record_crash() accumulates which distinct
+// worker incarnations died while suspected of running a cell; once K
+// distinct incarnations have been burned, the coordinator calls
+// quarantine() and the cell leaves the schedule permanently — reported
+// as a failed cell with its crash history instead of re-leased forever
+// (docs/ROBUSTNESS.md § Poison-cell quarantine).
 #pragma once
 
 #include <cstddef>
@@ -51,8 +58,36 @@ public:
     /// while it might still run.
     std::vector<std::size_t> revoke(int worker);
 
-    [[nodiscard]] bool all_done() const noexcept { return done_ == states_.size(); }
+    /// Records that worker `incarnation` (a unique id per spawned
+    /// process, NOT the slot number — respawns get fresh ids) died while
+    /// `cell` was the suspected culprit. Returns how many DISTINCT
+    /// incarnations have now been burned by this cell; the coordinator
+    /// quarantines at its K threshold. Duplicate (cell, incarnation)
+    /// pairs don't double-count, and crashes recorded against a Done or
+    /// Quarantined cell are ignored (returns 0) — the race where the
+    /// journal record surfaced after the blame was assigned.
+    std::size_t record_crash(std::size_t cell, long incarnation);
+
+    /// Removes `cell` from the schedule permanently: it will never be
+    /// granted again and counts toward all_done() without counting as
+    /// done. Throws LogicError when the cell is already Done (it
+    /// finished — quarantining it would discard a real result) or
+    /// already Quarantined (double-quarantine means the coordinator's
+    /// bookkeeping is broken).
+    void quarantine(std::size_t cell);
+
+    /// Distinct incarnations burned by `cell` so far (0 for most cells).
+    [[nodiscard]] std::size_t crash_count(std::size_t cell) const noexcept;
+    [[nodiscard]] bool is_quarantined(std::size_t cell) const noexcept;
+    /// Quarantined cell indices, ascending.
+    [[nodiscard]] std::vector<std::size_t> quarantined() const;
+
+    /// True when every cell is resolved: Done or Quarantined.
+    [[nodiscard]] bool all_done() const noexcept {
+        return done_ + quarantined_ == states_.size();
+    }
     [[nodiscard]] std::size_t done_count() const noexcept { return done_; }
+    [[nodiscard]] std::size_t quarantined_count() const noexcept { return quarantined_; }
     [[nodiscard]] std::size_t cell_count() const noexcept { return states_.size(); }
     [[nodiscard]] std::size_t pending_count() const noexcept { return pending_.size(); }
     /// Cells currently leased to `worker` and not yet complete.
@@ -66,13 +101,17 @@ public:
                                               std::size_t max_lease) const noexcept;
 
 private:
-    enum class State : unsigned char { Pending, Leased, Done };
+    enum class State : unsigned char { Pending, Leased, Done, Quarantined };
 
     std::vector<State> states_;
     std::vector<int> owner_;           // valid while Leased
     std::vector<std::size_t> rank_;    // cell -> position in schedule order
     std::deque<std::size_t> pending_;  // claim order, front = next
+    // cell -> distinct incarnations that died blamed on it; sorted-vector
+    // keyed map would be overkill for the handful of crashing cells.
+    std::vector<std::vector<long>> crashes_;
     std::size_t done_ = 0;
+    std::size_t quarantined_ = 0;
 };
 
 }  // namespace sdl::campaign

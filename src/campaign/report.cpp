@@ -137,7 +137,8 @@ json::Value experiment_result_to_json(const core::ColorPickerConfig& config,
 }
 
 json::Value campaign_results_to_json(const CampaignSpec& spec,
-                                     std::span<const CellResult> results) {
+                                     std::span<const CellResult> results,
+                                     std::span<const QuarantinedCell> quarantined) {
     json::Value doc = json::Value::object();
     doc.set("schema", "sdlbench.campaign_result.v2");
 
@@ -198,6 +199,36 @@ json::Value campaign_results_to_json(const CampaignSpec& spec,
         aggregates.push_back(std::move(entry));
     }
     doc.set("aggregates", std::move(aggregates));
+
+    // Conditional key (same pattern as generated_seed / linalg_backend):
+    // only crash-loop-contained fleet runs carry it, so every other
+    // campaign document keeps its pre-existing bytes.
+    if (!quarantined.empty()) {
+        json::Value quarantine_list = json::Value::array();
+        for (const QuarantinedCell& q : quarantined) {
+            json::Value entry = json::Value::object();
+            entry.set("index", static_cast<std::int64_t>(q.cell.index));
+            entry.set("workcell", q.cell.workcell);
+            entry.set("solver", q.cell.solver);
+            entry.set("batch_size", q.cell.batch_size);
+            entry.set("objective", core::objective_to_string(q.cell.objective));
+            entry.set("target", rgb_to_json(q.cell.target));
+            entry.set("replicate", q.cell.replicate);
+            entry.set("seed", static_cast<std::int64_t>(q.cell.config.seed));
+            json::Value crashes = json::Value::array();
+            for (const CellCrash& crash : q.crashes) {
+                json::Value c = json::Value::object();
+                c.set("slot", crash.slot);
+                c.set("generation", crash.generation);
+                c.set("pid", static_cast<std::int64_t>(crash.pid));
+                c.set("reason", crash.reason);
+                crashes.push_back(std::move(c));
+            }
+            entry.set("crashes", std::move(crashes));
+            quarantine_list.push_back(std::move(entry));
+        }
+        doc.set("quarantined", std::move(quarantine_list));
+    }
     return doc;
 }
 
@@ -226,9 +257,10 @@ std::string campaign_results_to_csv(std::span<const CellResult> results) {
 }
 
 std::string write_campaign_outputs(const std::string& out_dir, const CampaignSpec& spec,
-                                   std::span<const CellResult> results) {
+                                   std::span<const CellResult> results,
+                                   std::span<const QuarantinedCell> quarantined) {
     std::filesystem::create_directories(out_dir);
-    std::string doc_text = campaign_results_to_json(spec, results).pretty();
+    std::string doc_text = campaign_results_to_json(spec, results, quarantined).pretty();
     doc_text += "\n";
     support::atomic_write(out_dir + "/campaign.json", doc_text);
     support::atomic_write(out_dir + "/campaign.csv", campaign_results_to_csv(results));

@@ -52,11 +52,30 @@ struct CellAggregate {
 [[nodiscard]] support::json::Value experiment_result_to_json(
     const core::ColorPickerConfig& config, const core::ExperimentOutcome& outcome);
 
+/// One worker death attributed to a quarantined cell.
+struct CellCrash {
+    int slot = -1;       ///< fleet worker slot
+    int generation = 0;  ///< respawn generation of that slot (0 = original)
+    long pid = -1;
+    std::string reason;  ///< e.g. "signal 9", "heartbeat timeout"
+};
+
+/// A cell removed from the schedule by crash-loop containment: it killed
+/// `crashes.size()` distinct worker incarnations and was written off
+/// instead of re-leased forever. Reported, never silently dropped.
+struct QuarantinedCell {
+    CampaignCell cell;
+    std::vector<CellCrash> crashes;
+};
+
 /// The campaign document ("sdlbench.campaign_result.v2"): spec echo,
 /// per-cell results (each recording its workcell scenario), aggregates.
-/// Deterministic for a given spec.
+/// Deterministic for a given spec. `quarantined` cells (fleet crash-loop
+/// containment) appear under a conditional top-level "quarantined" key —
+/// campaigns without one keep their pre-existing bytes.
 [[nodiscard]] support::json::Value campaign_results_to_json(
-    const CampaignSpec& spec, std::span<const CellResult> results);
+    const CampaignSpec& spec, std::span<const CellResult> results,
+    std::span<const QuarantinedCell> quarantined = {});
 
 /// One summary row per cell (no sample series) for spreadsheet use.
 /// Numeric cells use shortest-round-trip formatting (support::
@@ -69,6 +88,7 @@ struct CellAggregate {
 /// crash mid-write cannot leave a torn report that a resume would then
 /// trust. Returns the campaign.json text (for `--json` duplication).
 std::string write_campaign_outputs(const std::string& out_dir, const CampaignSpec& spec,
-                                   std::span<const CellResult> results);
+                                   std::span<const CellResult> results,
+                                   std::span<const QuarantinedCell> quarantined = {});
 
 }  // namespace sdl::campaign

@@ -13,6 +13,7 @@
 #endif
 
 #include "support/common.hpp"
+#include "support/failpoint.hpp"
 
 namespace sdl::support {
 
@@ -64,6 +65,19 @@ void atomic_write(const std::string& path, std::string_view content) {
             throw Error("io", "failed writing '" + tmp + "'");
         }
     }
+    // Injected faults discard the temp file like every real failure path:
+    // the published name either keeps its old content or gains the new
+    // complete document, never a partial one.
+    const auto fail_and_discard_tmp = [&tmp](std::string_view site) {
+        try {
+            failpoint::maybe_fail(site, "io");
+        } catch (...) {
+            std::error_code ignored;
+            std::filesystem::remove(tmp, ignored);
+            throw;
+        }
+    };
+    if (failpoint::armed()) fail_and_discard_tmp("atomic_io.fsync");
 #if !defined(_WIN32)
     // Push the temp file's bytes to stable storage before the rename
     // publishes it, so a machine crash cannot surface the new name with
@@ -74,6 +88,7 @@ void atomic_write(const std::string& path, std::string_view content) {
         ::close(fd);
     }
 #endif
+    if (failpoint::armed()) fail_and_discard_tmp("atomic_io.rename");
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
@@ -160,9 +175,32 @@ void AppendWriter::append_line(std::string_view line) {
     // the reader's torn-tail recovery covers what got out. fdatasync
     // makes the record survive machine death, not just a process kill;
     // one sync per record is noise next to a cell's simulation time.
-    const ssize_t written = ::write(fd_, record.data(), record.size());
-    const bool ok =
-        written == static_cast<ssize_t>(record.size()) && ::fdatasync(fd_) == 0;
+    //
+    // journal.append_short_write=err(K) truly writes only the first K
+    // bytes before failing, so the file really does hold a torn record —
+    // the recovery property test exercises every K boundary this way.
+    std::size_t to_write = record.size();
+    bool injected_short = false;
+    if (failpoint::armed()) {
+        const failpoint::Fired fired = failpoint::evaluate(
+            "journal.append_short_write", static_cast<long>(record.size()));
+        if (fired.action != failpoint::Action::None) {
+            injected_short = true;
+            const long keep = fired.param;
+            to_write = (keep >= 0 && static_cast<std::size_t>(keep) < to_write)
+                           ? static_cast<std::size_t>(keep)
+                           : 0;
+        }
+    }
+    const ssize_t written = ::write(fd_, record.data(), to_write);
+    bool ok = !injected_short && written == static_cast<ssize_t>(record.size());
+    if (ok && failpoint::armed()) {
+        // Fires after the full record hit the page cache but before it is
+        // durable: the caller sees a failure for a record a later reader
+        // may well observe intact. Recovery must tolerate both outcomes.
+        failpoint::maybe_fail("journal.append_fsync", "io");
+    }
+    ok = ok && ::fdatasync(fd_) == 0;
 #endif
     if (!ok) {
         throw Error("io", "failed appending to journal '" + path_ + "'");

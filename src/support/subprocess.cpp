@@ -1,10 +1,12 @@
 #include "support/subprocess.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
 #include "support/common.hpp"
+#include "support/failpoint.hpp"
 
 #if !defined(_WIN32)
 #include <csignal>
@@ -64,6 +66,11 @@ void ChildProcess::close_pipes() noexcept {
 ChildProcess spawn_child(const std::vector<std::string>& argv,
                          const std::vector<std::string>& extra_env) {
     check(!argv.empty(), "spawn_child needs at least argv[0]");
+    if (failpoint::armed()) {
+        // Simulates fork/exec resource exhaustion (EAGAIN, pipe limits)
+        // before any fd is created, so nothing needs cleanup.
+        failpoint::maybe_fail("subprocess.spawn", "subprocess");
+    }
     int to_child[2];    // parent writes -> child stdin
     int from_child[2];  // child stdout -> parent reads
     if (::pipe(to_child) != 0) {
@@ -169,8 +176,27 @@ std::vector<bool> poll_readable(const std::vector<int>& fds, int timeout_ms) {
         pfds.push_back({fd, POLLIN, 0});
     }
     std::vector<bool> readable(fds.size(), false);
-    const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
-    if (rc <= 0) return readable;  // timeout or EINTR: nothing ready
+    // EINTR is not a timeout: a signal landing mid-poll must not eat the
+    // heartbeat window (the coordinator would mis-declare workers dead),
+    // so retry with whatever budget remains.
+    // sdlbench-lint: allow(steady-clock): operational timeout bookkeeping for the EINTR retry, never part of a result artifact
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        timeout_ms >= 0 ? Clock::now() + std::chrono::milliseconds(timeout_ms)
+                        : Clock::time_point::max();
+    int remaining_ms = timeout_ms;
+    for (;;) {
+        const int rc = ::poll(pfds.data(), pfds.size(), remaining_ms);
+        if (rc > 0) break;
+        if (rc == 0) return readable;  // genuine timeout: nothing ready
+        if (errno != EINTR) return readable;
+        if (timeout_ms >= 0) {
+            const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now());
+            if (left.count() <= 0) return readable;
+            remaining_ms = static_cast<int>(left.count());
+        }
+    }
     for (std::size_t i = 0; i < pfds.size(); ++i) {
         // HUP/ERR count as readable: read() returns 0/-1 without
         // blocking, which is how EOF on a dead worker is discovered.

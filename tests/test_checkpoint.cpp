@@ -15,7 +15,9 @@
 #include "campaign/checkpoint.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
+#include "support/atomic_io.hpp"
 #include "support/common.hpp"
+#include "support/failpoint.hpp"
 #include "support/log.hpp"
 
 using namespace sdl;
@@ -365,4 +367,79 @@ TEST(Checkpoint, MergeRejectsOverlapAndIncompleteCoverage) {
     // Both present: complete.
     const auto merged = merge_journals({journal_path(a.path), journal_path(b.path)}, spec);
     EXPECT_EQ(merged.size(), results.size());
+}
+
+// ------------------------------------------------------ injected failures
+
+TEST(Checkpoint, RecoveryAtEveryShortWriteBoundary) {
+    // Property: whatever byte count an interrupted append manages to get
+    // out — 0 bytes, half a record, everything but the newline — the
+    // reader recovers every earlier record and drops exactly the torn
+    // tail. journal.append_short_write=err(K) truly truncates the write,
+    // so each K exercises a real on-disk torn journal.
+    const CampaignSpec spec = tiny_spec();
+    const auto& results = shared_results();
+    ASSERT_GE(results.size(), 2u);
+    const std::string torn_line = cell_record_to_json(results[1]).dump();
+
+    for (std::size_t keep = 0; keep <= torn_line.size(); ++keep) {
+        TempDir dir("test_ckpt_short_write");
+        {
+            CheckpointJournal journal(dir.path, spec, results.size());
+            journal.append(results[0]);
+            support::failpoint::arm("journal.append_short_write=err(" +
+                                    std::to_string(keep) + ")#1");
+            EXPECT_THROW(journal.append(results[1]), support::Error) << keep;
+            support::failpoint::disarm();
+        }
+        // The file really is torn at byte `keep` of the failed record.
+        const std::string text = slurp(journal_path(dir.path));
+        ASSERT_TRUE(text.size() > torn_line.size())
+            << "journal lost its intact prefix at boundary " << keep;
+        EXPECT_EQ(text.substr(text.size() - keep), torn_line.substr(0, keep));
+
+        const LoadedJournal loaded =
+            load_journal(journal_path(dir.path), spec, expand_grid(spec));
+        ASSERT_EQ(loaded.cells.size(), 1u) << "boundary " << keep;
+        EXPECT_EQ(loaded.cells[0].cell.index, results[0].cell.index);
+        // keep == 0 means the interrupted write got nothing out: the
+        // journal ends cleanly and there is no tail to drop.
+        EXPECT_EQ(loaded.dropped_torn_tail, keep > 0) << "boundary " << keep;
+
+        // And the journal is recoverable the way resume does it: compact
+        // the surviving lines atomically, reopen, append — after which
+        // nothing is torn.
+        std::string compacted;
+        for (const std::string& line : loaded.lines) compacted += line + "\n";
+        support::atomic_write(journal_path(dir.path), compacted);
+        CheckpointJournal journal = CheckpointJournal::reopen(dir.path);
+        journal.append(results[1]);
+        const LoadedJournal healed =
+            load_journal(journal_path(dir.path), spec, expand_grid(spec));
+        EXPECT_EQ(healed.cells.size(), 2u) << "boundary " << keep;
+        EXPECT_FALSE(healed.dropped_torn_tail) << "boundary " << keep;
+    }
+}
+
+TEST(Checkpoint, InjectedFsyncFailureFailsTheAppendLoudly) {
+    // The fsync fires after the record hit the page cache: the writer
+    // must report failure (durability unknown) even though a later
+    // reader may see the record intact — recovery tolerates both.
+    const CampaignSpec spec = tiny_spec();
+    const auto& results = shared_results();
+    TempDir dir("test_ckpt_fsync_fail");
+    {
+        CheckpointJournal journal(dir.path, spec, results.size());
+        support::failpoint::arm("journal.append_fsync=err#1");
+        EXPECT_THROW(journal.append(results[0]), support::Error);
+        support::failpoint::disarm();
+        journal.append(results[0]);  // budget spent: the retry lands
+    }
+    // The failed append's bytes made it out (only durability was in
+    // doubt), so the retry duplicated the record — which load_journal
+    // reports loudly. This is exactly why the fleet worker dies instead
+    // of retrying after a failed append.
+    EXPECT_THROW(
+        (void)load_journal(journal_path(dir.path), spec, expand_grid(spec)),
+        support::ConfigError);
 }

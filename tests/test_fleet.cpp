@@ -118,6 +118,57 @@ TEST(LeaseTableTest, CompletedPendingCellIsNeverReleased) {
     EXPECT_TRUE(table.all_done());
 }
 
+TEST(LeaseTableTest, CrashCountsAreDedupedByIncarnation) {
+    LeaseTable table(3, {0, 1, 2});
+    (void)table.grant(0, 1);
+    // The same incarnation crashing on a cell twice (kill, salvage,
+    // re-lease, kill again before the respawn lands) is one conviction
+    // vote, not two.
+    EXPECT_EQ(table.record_crash(0, 7), 1u);
+    EXPECT_EQ(table.record_crash(0, 7), 1u);
+    EXPECT_EQ(table.record_crash(0, 8), 2u);
+    EXPECT_EQ(table.crash_count(0), 2u);
+    EXPECT_EQ(table.crash_count(1), 0u);
+    // A crash attributed to an already-finished cell is ignored (the
+    // blame heuristic guessed wrong; the result stands).
+    table.complete(0);
+    EXPECT_EQ(table.record_crash(0, 9), 0u);
+    EXPECT_EQ(table.crash_count(0), 2u);
+}
+
+TEST(LeaseTableTest, QuarantineRemovesTheCellFromTheSchedule) {
+    LeaseTable table(3, {2, 1, 0});
+    (void)table.grant(0, 1);  // cell 2
+    (void)table.revoke(0);
+    EXPECT_EQ(table.record_crash(2, 0), 1u);
+    table.quarantine(2);
+    EXPECT_TRUE(table.is_quarantined(2));
+    EXPECT_EQ(table.quarantined_count(), 1u);
+    EXPECT_EQ(table.quarantined(), (std::vector<std::size_t>{2}));
+    // The poisoned cell is never granted again.
+    EXPECT_EQ(table.grant(1, 5), (std::vector<std::size_t>{1, 0}));
+    // Crash votes against a quarantined cell no longer accumulate.
+    EXPECT_EQ(table.record_crash(2, 1), 0u);
+    // A quarantined cell still counts toward termination.
+    table.complete(1);
+    table.complete(0);
+    EXPECT_TRUE(table.all_done());
+    EXPECT_EQ(table.done_count(), 2u);
+}
+
+TEST(LeaseTableTest, QuarantineGuardsAgainstBookkeepingBugs) {
+    LeaseTable table(2, {0, 1});
+    (void)table.grant(0, 2);
+    table.complete(0);
+    // Quarantining a finished cell would discard a good result.
+    EXPECT_THROW(table.quarantine(0), support::LogicError);
+    table.quarantine(1);
+    // Double conviction and completion-after-quarantine are coordinator
+    // logic errors, not recoverable states.
+    EXPECT_THROW(table.quarantine(1), support::LogicError);
+    EXPECT_THROW(table.complete(1), support::LogicError);
+}
+
 TEST(LeaseTableTest, SuggestedLeaseShrinksAsQueueDrains) {
     LeaseTable table(12, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
     // ceil(12 / (2*3)) = 2 with a full queue...

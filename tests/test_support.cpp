@@ -17,11 +17,19 @@
 #include "support/channel.hpp"
 #include "support/common.hpp"
 #include "support/csv.hpp"
+#include "support/failpoint.hpp"
 #include "support/random.hpp"
 #include "support/stats.hpp"
+#include "support/subprocess.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 #include "support/units.hpp"
+
+#if !defined(_WIN32)
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+#endif
 
 using namespace sdl::support;
 
@@ -559,3 +567,177 @@ TEST(Csv, RowWidthMismatchThrows) {
     CsvWriter csv({"a", "b"});
     EXPECT_THROW(csv.add_row(std::vector<std::string>{"x"}), LogicError);
 }
+
+// -------------------------------------------------------------- failpoint
+
+namespace {
+
+/// Every failpoint test disarms on both edges so a failed EXPECT cannot
+/// leak an armed schedule into later tests in this process.
+struct FailpointGuard {
+    FailpointGuard() { sdl::support::failpoint::disarm(); }
+    ~FailpointGuard() { sdl::support::failpoint::disarm(); }
+};
+
+}  // namespace
+
+TEST(Failpoint, DisarmedByDefaultAndZeroCost) {
+    FailpointGuard guard;
+    EXPECT_FALSE(failpoint::armed());
+    EXPECT_EQ(failpoint::evaluate("atomic_io.rename").action,
+              failpoint::Action::None);
+    EXPECT_NO_THROW(failpoint::maybe_fail("atomic_io.rename", "io"));
+}
+
+TEST(Failpoint, ParsesTheFullGrammar) {
+    const failpoint::Spec spec = failpoint::parse(
+        "worker.pre_ack_kill=kill@2#1,atomic_io.rename=err:0.5@3,"
+        "journal.append_short_write=err(7),worker.cell_start[5]=kill,"
+        "subprocess.spawn=delay(120),seed=9");
+    EXPECT_EQ(spec.seed, 9u);
+    ASSERT_EQ(spec.entries.size(), 5u);
+    EXPECT_EQ(spec.entries[0].site, "worker.pre_ack_kill");
+    EXPECT_EQ(spec.entries[0].action, failpoint::Action::Kill);
+    EXPECT_EQ(spec.entries[0].nth, 2u);
+    EXPECT_EQ(spec.entries[0].count, 1u);
+    EXPECT_EQ(spec.entries[1].action, failpoint::Action::Err);
+    EXPECT_DOUBLE_EQ(spec.entries[1].prob, 0.5);
+    EXPECT_EQ(spec.entries[1].nth, 3u);
+    EXPECT_EQ(spec.entries[1].count, 0u);  // unlimited
+    EXPECT_EQ(spec.entries[2].param, 7);
+    ASSERT_TRUE(spec.entries[3].filter.has_value());
+    EXPECT_EQ(*spec.entries[3].filter, 5);
+    EXPECT_EQ(spec.entries[4].action, failpoint::Action::Delay);
+    EXPECT_EQ(spec.entries[4].param, 120);
+    // Empty spec is valid (arming it is a no-op).
+    EXPECT_TRUE(failpoint::parse("").entries.empty());
+}
+
+TEST(Failpoint, RejectsMalformedSpecsLoudly) {
+    for (const char* bad :
+         {"norhs", "site=", "site=explode", "site=err:2.0", "site=err:0",
+          "site=err@0", "site[x]=err", "site=err(abc)", "seed=x", "=err",
+          "site=err:0.5@", "site=err,,site2=err"}) {
+        EXPECT_THROW((void)failpoint::parse(bad), ConfigError) << bad;
+    }
+}
+
+TEST(Failpoint, NthCountAndFilterScheduleHits) {
+    FailpointGuard guard;
+    // Eligible from the 2nd hit, at most 2 fires.
+    failpoint::arm("x.y=err@2#2");
+    EXPECT_TRUE(failpoint::armed());
+    EXPECT_EQ(failpoint::evaluate("x.y").action, failpoint::Action::None);
+    EXPECT_EQ(failpoint::evaluate("x.y").action, failpoint::Action::Err);
+    EXPECT_EQ(failpoint::evaluate("x.y").action, failpoint::Action::Err);
+    EXPECT_EQ(failpoint::evaluate("x.y").action, failpoint::Action::None);
+    // Other sites are untouched.
+    EXPECT_EQ(failpoint::evaluate("x.z").action, failpoint::Action::None);
+    // Filtered entries only see matching hits — and only those advance
+    // the hit counter.
+    failpoint::arm("cell.start[5]=err@2");
+    EXPECT_EQ(failpoint::evaluate("cell.start", 4).action,
+              failpoint::Action::None);
+    EXPECT_EQ(failpoint::evaluate("cell.start", 5).action,
+              failpoint::Action::None);  // 1st matching hit, nth=2
+    EXPECT_EQ(failpoint::evaluate("cell.start", 4).action,
+              failpoint::Action::None);
+    EXPECT_EQ(failpoint::evaluate("cell.start", 5).action,
+              failpoint::Action::Err);
+}
+
+TEST(Failpoint, ProbabilisticFiresAreSeededAndReproducible) {
+    FailpointGuard guard;
+    const auto draw = [&](std::uint64_t seed) {
+        failpoint::arm("p.q=err:0.5,seed=" + std::to_string(seed));
+        std::string pattern;
+        for (int i = 0; i < 64; ++i) {
+            pattern += failpoint::evaluate("p.q").action == failpoint::Action::Err
+                           ? '1'
+                           : '0';
+        }
+        return pattern;
+    };
+    const std::string a = draw(1);
+    EXPECT_EQ(a, draw(1));  // re-arming resets counters: exact replay
+    EXPECT_NE(a, draw(2));  // a different seed is a different schedule
+    EXPECT_NE(a.find('1'), std::string::npos);
+    EXPECT_NE(a.find('0'), std::string::npos);
+}
+
+TEST(Failpoint, MaybeFailThrowsTheNamedCategory) {
+    FailpointGuard guard;
+    failpoint::arm("boom.site=err#1");
+    try {
+        failpoint::maybe_fail("boom.site", "io");
+        FAIL() << "armed err failpoint did not throw";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.category(), "io");
+        EXPECT_NE(std::string(e.what()).find("boom.site"), std::string::npos);
+    }
+    // #1 exhausted the entry: the site is quiet again.
+    EXPECT_NO_THROW(failpoint::maybe_fail("boom.site", "io"));
+}
+
+TEST(Failpoint, AtomicWriteInjectionLeavesTheOldFileIntact) {
+    FailpointGuard guard;
+    const std::string dir = "test_support_failpoint_atomic";
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/doc.txt";
+    atomic_write(path, "original\n");
+    for (const char* site : {"atomic_io.rename=err#1", "atomic_io.fsync=err#1"}) {
+        failpoint::arm(site);
+        EXPECT_THROW(atomic_write(path, "clobber\n"), Error) << site;
+        EXPECT_EQ(slurp(path), "original\n") << site;
+        // The failed attempt's temp file is cleaned up, not leaked.
+        std::size_t entries = 0;
+        for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+            (void)entry;
+            ++entries;
+        }
+        EXPECT_EQ(entries, 1u) << site;
+        // The injection budget (#1) is spent: the retry goes through.
+        atomic_write(path, "updated\n");
+        EXPECT_EQ(slurp(path), "updated\n") << site;
+        atomic_write(path, "original\n");
+    }
+    std::filesystem::remove_all(dir);
+}
+
+#if !defined(_WIN32)
+namespace {
+void ignore_usr1(int) {}
+}  // namespace
+
+TEST(Subprocess, PollReadableSurvivesEintr) {
+    // Regression: poll_readable used to report EINTR as a timeout, so a
+    // stray signal made the fleet's coordinator loop think every worker
+    // went silent. Now it retries with the remaining budget.
+    struct sigaction sa = {};
+    struct sigaction old = {};
+    sa.sa_handler = ignore_usr1;
+    ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(pipe(fds), 0);
+    const pthread_t poller = pthread_self();
+    std::thread writer([&] {
+        // A burst of signals lands mid-poll, then the byte arrives; a
+        // poll that treats EINTR as a timeout never sees it.
+        for (int i = 0; i < 5; ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            pthread_kill(poller, SIGUSR1);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        ASSERT_EQ(write(fds[1], "x", 1), 1);
+    });
+    const std::vector<bool> readable =
+        poll_readable(std::vector<int>{fds[0]}, 2000);
+    writer.join();
+    ASSERT_EQ(readable.size(), 1u);
+    EXPECT_TRUE(readable[0]);
+    (void)sigaction(SIGUSR1, &old, nullptr);
+    close(fds[0]);
+    close(fds[1]);
+}
+#endif

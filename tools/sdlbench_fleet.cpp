@@ -27,6 +27,7 @@
 
 #include "campaign/fleet.hpp"
 #include "linalg/backend.hpp"
+#include "support/failpoint.hpp"
 #include "support/log.hpp"
 
 using namespace sdl;
@@ -63,15 +64,31 @@ void print_usage(std::FILE* stream) {
         "                           ceil(pending / (2 x workers)))\n"
         "  --backend <name>         linalg backend override (strict | fast),\n"
         "                           applied on both sides of the digest\n"
-        "  --chaos-kill <w>:<k>     fault injection for tests: worker w raises\n"
-        "                           SIGKILL on itself after its k-th journal\n"
-        "                           append, before the ack leaves\n"
+        "  --resume                 restart a killed coordinator from output_dir's\n"
+        "                           coordinator.jsonl ledger + worker journals\n"
+        "  --quarantine-after <k>   quarantine a cell after it crashes k distinct\n"
+        "                           worker incarnations (default 3); quarantined\n"
+        "                           cells are reported in campaign.json and the\n"
+        "                           fleet exits 6\n"
+        "  --max-respawns <n>       per-slot respawn budget (default 8); a slot\n"
+        "                           that exhausts it is retired\n"
+        "  --respawn-backoff <s>    base respawn delay, doubled per consecutive\n"
+        "                           crash up to a 5s cap (default 0.25)\n"
+        "  --failpoints <spec>      arm coordinator-side failpoints (overrides\n"
+        "                           SDLBENCH_FAILPOINTS); docs/ROBUSTNESS.md has\n"
+        "                           the grammar and site catalog\n"
+        "  --worker-failpoints <w|*>:<spec>\n"
+        "                           inject <spec> into worker slot w (generation\n"
+        "                           0 only) or '*' (every incarnation); repeatable\n"
+        "  --chaos-kill <w>:<k>     sugar for --worker-failpoints\n"
+        "                           w:worker.pre_ack_kill=kill@k#1\n"
         "\n"
         "Writes campaign.json, campaign.csv and a fused whole-grid cells.jsonl\n"
         "to [output_dir] (default sdlbench_fleet_out); per-worker journals\n"
-        "remain under output_dir/workers/wN/. The final report is\n"
-        "byte-identical to a single-process `sdlbench_run --campaign` run,\n"
-        "including when workers are killed mid-campaign.\n");
+        "remain under output_dir/workers/wN/ (respawns under wNrG/). The final\n"
+        "report is byte-identical to a single-process `sdlbench_run --campaign`\n"
+        "run, including when workers are killed mid-campaign or the coordinator\n"
+        "itself is killed and resumed. Exits 6 if any cell was quarantined.\n");
 }
 
 bool parse_size(const std::string& text, std::size_t& into) {
@@ -115,11 +132,6 @@ int worker_main(const std::vector<std::string>& args) {
                 std::fprintf(stderr, "fleet worker: bad --heartbeat-interval\n");
                 return 2;
             }
-        } else if (args[i] == "--chaos-after") {
-            if (!parse_size(value(), options.chaos_kill_after)) {
-                std::fprintf(stderr, "fleet worker: bad --chaos-after\n");
-                return 2;
-            }
         } else {
             std::fprintf(stderr, "fleet worker: unknown flag '%s'\n", args[i].c_str());
             return 2;
@@ -141,6 +153,15 @@ int worker_main(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
     std::vector<std::string> args(argv + 1, argv + argc);
+    // Arm from SDLBENCH_FAILPOINTS first: workers get their schedules
+    // this way (the coordinator always sets the variable for them), and
+    // a coordinator run under the env var behaves like --failpoints.
+    try {
+        support::failpoint::arm_from_env();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: SDLBENCH_FAILPOINTS: %s\n", e.what());
+        return 2;
+    }
     for (const auto& a : args) {
         if (a == "--worker") return worker_main(args);
     }
@@ -218,6 +239,58 @@ int main(int argc, char** argv) {
             }
             options.chaos_kill_worker = static_cast<int>(worker);
             options.chaos_kill_after = after;
+        } else if (*it == "--worker-failpoints") {
+            if (!take_value("--worker-failpoints", text)) return 2;
+            const std::size_t colon = text.find(':');
+            campaign::FleetOptions::WorkerFailpoint wf;
+            std::size_t slot = 0;
+            if (colon == std::string::npos || colon + 1 == text.size()) {
+                std::fprintf(stderr,
+                             "error: --worker-failpoints needs <w|*>:<spec>\n");
+                return 2;
+            }
+            if (text.substr(0, colon) == "*") {
+                wf.slot = -1;
+            } else if (parse_size(text.substr(0, colon), slot)) {
+                wf.slot = static_cast<int>(slot);
+            } else {
+                std::fprintf(stderr,
+                             "error: --worker-failpoints needs <w|*>:<spec>\n");
+                return 2;
+            }
+            wf.spec = text.substr(colon + 1);
+            options.worker_failpoints.push_back(std::move(wf));
+        } else if (*it == "--failpoints") {
+            if (!take_value("--failpoints", text)) return 2;
+            try {
+                support::failpoint::arm(text);
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "error: --failpoints: %s\n", e.what());
+                return 2;
+            }
+        } else if (*it == "--resume") {
+            options.resume = true;
+            it = args.erase(it);
+        } else if (*it == "--quarantine-after") {
+            if (!take_value("--quarantine-after", text)) return 2;
+            if (!parse_size(text, options.quarantine_after) ||
+                options.quarantine_after == 0) {
+                std::fprintf(stderr,
+                             "error: --quarantine-after needs a positive integer\n");
+                return 2;
+            }
+        } else if (*it == "--max-respawns") {
+            if (!take_value("--max-respawns", text)) return 2;
+            if (!parse_size(text, options.max_respawns)) {
+                std::fprintf(stderr, "error: --max-respawns needs an integer\n");
+                return 2;
+            }
+        } else if (*it == "--respawn-backoff") {
+            if (!take_value("--respawn-backoff", text)) return 2;
+            if (!parse_double(text, options.respawn_backoff_s)) {
+                std::fprintf(stderr, "error: --respawn-backoff needs seconds > 0\n");
+                return 2;
+            }
         } else if (!it->empty() && (*it)[0] == '-') {
             std::fprintf(stderr, "error: unknown flag '%s'\n", it->c_str());
             return 2;
@@ -253,9 +326,19 @@ int main(int argc, char** argv) {
                         "re-leased",
                         s.workers_lost, s.cells_salvaged, s.cells_releases);
         }
+        if (s.workers_respawned > 0) {
+            std::printf(", %zu respawned", s.workers_respawned);
+        }
         std::printf(")\n");
         std::printf("Wrote %s/{campaign.json, campaign.csv, cells.jsonl}.\n",
                     out_dir.c_str());
+        if (!fleet.quarantined.empty()) {
+            std::fprintf(stderr,
+                         "warning: %zu cell(s) quarantined after repeated worker "
+                         "crashes — see the \"quarantined\" list in campaign.json\n",
+                         fleet.quarantined.size());
+            return 6;
+        }
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -24,6 +24,10 @@ gates (docs/INVARIANTS.md catalogues the why behind each rule):
   fp-contract          the root CMakeLists keeps -ffp-contract=off and no
                        build file smuggles in -ffast-math/=fast, which
                        would break cross-TU bitwise identities
+  failpoint-catalog    every failpoint site named in src/ or tools/
+                       (support/failpoint.hpp call sites and schedule
+                       strings) appears in docs/ROBUSTNESS.md's site
+                       catalog, so injectable faults stay discoverable
 
 Suppression grammar (trailing on the offending line, or standalone on
 the line directly above it; `#` instead of `//` in CMake files):
@@ -146,10 +150,41 @@ RULES = {
 }
 
 FP_CONTRACT_RULE = "fp-contract"
-ALL_RULE_IDS = tuple(RULES) + (FP_CONTRACT_RULE,)
+FAILPOINT_RULE = "failpoint-catalog"
+ALL_RULE_IDS = tuple(RULES) + (FP_CONTRACT_RULE, FAILPOINT_RULE)
+SPECIAL_RULE_MESSAGES = {
+    FP_CONTRACT_RULE: "build files keep -ffp-contract=off and no "
+                      "fast-math flags",
+    FAILPOINT_RULE: "failpoint sites named in src/ and tools/ appear in "
+                    "docs/ROBUSTNESS.md's site catalog",
+}
 FP_BAD_FLAGS = re.compile(r"-ffast-math|-ffp-contract=fast|-funsafe-math"
                           r"-optimizations|-Ofast\b")
 FP_GUARD = "-ffp-contract=off"
+
+# Failpoint sites surface in C++ two ways: as the string argument of a
+# failpoint call (evaluate/maybe_fail, plus atomic_io's forwarding
+# lambda), and inside schedule strings ("site=kill@..."). Site names are
+# dotted lower-case; the dot keeps ordinary words out.
+FAILPOINT_SITE_DIRS = ("src", "tools")
+FAILPOINT_CATALOG_DOC = "docs/ROBUSTNESS.md"
+FAILPOINT_CALL_RE = re.compile(
+    r'(?:evaluate|maybe_fail|fail_and_discard_tmp)\s*\(\s*'
+    r'"([a-z0-9_]+\.[a-z0-9_.]+)"')
+FAILPOINT_SPEC_RE = re.compile(
+    r'"([a-z0-9_]+(?:\.[a-z0-9_]+)+)=(?:err|kill|delay)')
+
+
+def load_failpoint_catalog(root):
+    """Backtick-quoted dotted site names in the robustness doc, or None
+    when the doc is missing entirely."""
+    path = os.path.join(root, FAILPOINT_CATALOG_DOC)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+    except OSError:
+        return None
+    return set(re.findall(r"`([a-z0-9_]+\.[a-z0-9_.]+)`", text))
 
 
 def strip_comments(text):
@@ -255,7 +290,8 @@ def collect_suppressions(rel, raw_lines, errors):
     return covered
 
 
-def scan_cxx_file(root, rel, findings, errors, suppressions_out):
+def scan_cxx_file(root, rel, findings, errors, suppressions_out,
+                  failpoint_catalog=None):
     path = os.path.join(root, rel)
     try:
         with open(path, encoding="utf-8", errors="replace") as fh:
@@ -264,7 +300,8 @@ def scan_cxx_file(root, rel, findings, errors, suppressions_out):
         errors.append(f"{rel}: unreadable ({exc})")
         return
     raw_lines = text.splitlines()
-    code_lines = strip_comments(text).splitlines()
+    code_text = strip_comments(text)
+    code_lines = code_text.splitlines()
     covered = collect_suppressions(rel, raw_lines, errors)
     for sups in covered.values():
         suppressions_out.extend(sups)
@@ -280,6 +317,34 @@ def scan_cxx_file(root, rel, findings, errors, suppressions_out):
                     s.used = True
                 continue
             findings.append((rel, idx, rule.id, rule.message))
+
+    # failpoint-catalog: dotted site names at failpoint call sites and in
+    # schedule strings must be documented. Matched against the whole
+    # (comment-stripped) text because call arguments wrap across lines.
+    if rel.split("/", 1)[0] not in FAILPOINT_SITE_DIRS:
+        return
+    for pattern in (FAILPOINT_CALL_RE, FAILPOINT_SPEC_RE):
+        for m in pattern.finditer(code_text):
+            site = m.group(1)
+            idx = code_text.count("\n", 0, m.start(1)) + 1
+            sups = [s for s in covered.get(idx, [])
+                    if FAILPOINT_RULE in s.rules]
+            if sups:
+                for s in sups:
+                    s.used = True
+                continue
+            if failpoint_catalog is None:
+                findings.append((
+                    rel, idx, FAILPOINT_RULE,
+                    f"failpoint site '{site}' is referenced but "
+                    f"{FAILPOINT_CATALOG_DOC} does not exist — the site "
+                    f"catalog is the discoverability contract"))
+            elif site not in failpoint_catalog:
+                findings.append((
+                    rel, idx, FAILPOINT_RULE,
+                    f"failpoint site '{site}' is missing from "
+                    f"{FAILPOINT_CATALOG_DOC}'s site catalog — document "
+                    f"it (name, layer, what the injected fault models)"))
 
 
 def scan_build_files(root, findings, errors, suppressions_out):
@@ -355,8 +420,7 @@ def main(argv=None):
     if args.list_rules:
         for rule_id in ALL_RULE_IDS:
             message = (RULES[rule_id].message if rule_id in RULES else
-                       "build files keep -ffp-contract=off and no "
-                       "fast-math flags")
+                       SPECIAL_RULE_MESSAGES[rule_id])
             print(f"{rule_id}: {message}")
         return 0
 
@@ -368,11 +432,13 @@ def main(argv=None):
 
     findings, errors, suppressions = [], [], []
     exempt = 0
+    failpoint_catalog = load_failpoint_catalog(root)
     for rel in iter_source_files(root):
         if any(rel.startswith(p) for p in EXEMPT_PREFIXES):
             exempt += 1
             continue
-        scan_cxx_file(root, rel, findings, errors, suppressions)
+        scan_cxx_file(root, rel, findings, errors, suppressions,
+                      failpoint_catalog)
     scan_build_files(root, findings, errors, suppressions)
 
     for sup in suppressions:

@@ -219,6 +219,51 @@ class TestFpContract(LintHarness):
         self.assertEqual(code, 0, out)
 
 
+class TestFailpointCatalog(LintHarness):
+    CALL = ('#include "support/failpoint.hpp"\n'
+            'void f() { support::failpoint::maybe_fail("demo.site", "io"); }\n')
+
+    def test_documented_site_is_clean(self):
+        self.write("docs/ROBUSTNESS.md",
+                   "| `demo.site` | demo | a documented site |\n")
+        self.assert_clean("src/a.cpp", self.CALL)
+
+    def test_undocumented_site_is_flagged(self):
+        self.write("docs/ROBUSTNESS.md",
+                   "| `other.site` | demo | the only documented site |\n")
+        self.write("src/a.cpp", self.CALL)
+        code, out, _err = self.run_lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("[failpoint-catalog]", out)
+        self.assertIn("'demo.site' is missing from", out)
+        self.assertIn("src/a.cpp:2:", out)
+
+    def test_missing_doc_is_its_own_message(self):
+        self.write("src/a.cpp", self.CALL)
+        code, out, _err = self.run_lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("[failpoint-catalog]", out)
+        self.assertIn("does not exist", out)
+
+    def test_spec_strings_are_scanned_too(self):
+        # Hard-coded schedule strings (e.g. --chaos-kill sugar) name
+        # sites without ever calling maybe_fail.
+        self.write("docs/ROBUSTNESS.md", "no catalog entries here\n")
+        self.assert_flags("failpoint-catalog", "tools/t.cpp",
+                          'const char* spec = "demo.site=kill@1#1";\n',
+                          line=1)
+
+    def test_tests_are_out_of_scope(self):
+        # The framework's own tests arm ad-hoc sites on purpose.
+        self.assert_clean("tests/t.cpp", self.CALL)
+
+    def test_suppressed_with_reason(self):
+        self.assert_clean(
+            "src/a.cpp",
+            "// sdlbench-lint: allow(failpoint-catalog): scratch site, not part of the public catalog\n"
+            'void f() { support::failpoint::maybe_fail("demo.site", "io"); }\n')
+
+
 class TestSuppressionGrammar(LintHarness):
     def test_unknown_rule_fails_loudly(self):
         self.write("src/a.cpp",
